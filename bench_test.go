@@ -1,0 +1,396 @@
+package repro
+
+// The bench harness regenerates every table and figure of the paper's
+// evaluation at a laptop-friendly scale (one benchmark per experiment; see
+// DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured comparisons at the default harness scale).
+//
+// Run everything:   go test -bench=. -benchmem
+// Run one figure:   go test -bench=Fig15 -benchmem
+//
+// Reported custom metrics use the suffix convention
+//   *_reward  — mean total episode reward (higher is better)
+//   *_resp    — average response time in slots (lower is better)
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/rl"
+	"repro/internal/stats"
+	"repro/internal/workflow"
+	"repro/internal/workload"
+)
+
+// benchExperiment is the shared scaled-down configuration: Table-2 or
+// Table-3 clients at quarter capacity, 60 tasks, 12 episodes.
+func benchExperiment(specs []core.ClientSpec, seed int64) core.ExperimentConfig {
+	cfg := core.DefaultExperiment(seed)
+	cfg.Specs = core.ScaleSpecs(specs, 4)
+	cfg.TasksPerClient = 60
+	cfg.Episodes = 12
+	cfg.CommEvery = 3
+	cfg.EpisodeStepCap = 300
+	return cfg
+}
+
+func tail(curve []float64) float64 {
+	n := len(curve) / 4
+	if n < 1 {
+		n = 1
+	}
+	return stats.Mean(curve[len(curve)-n:])
+}
+
+// BenchmarkFig02_03_ResourceDistributions regenerates the CPU and memory
+// request histograms of Figures 2–3 for all ten datasets.
+func BenchmarkFig02_03_ResourceDistributions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, id := range workload.AllDatasets() {
+			rng := rand.New(rand.NewSource(int64(id) + 1))
+			tasks := workload.SampleDataset(id, rng, 1000)
+			workload.ResourceHistogram(tasks, 10, func(t workload.Task) float64 { return float64(t.CPU) })
+			workload.ResourceHistogram(tasks, 10, func(t workload.Task) float64 { return t.Mem })
+		}
+	}
+}
+
+// BenchmarkFig04_ArrivalRates regenerates the hourly arrival-rate series of
+// Figure 4.
+func BenchmarkFig04_ArrivalRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, id := range workload.AllDatasets() {
+			rng := rand.New(rand.NewSource(int64(id) + 2))
+			workload.HourlyArrivalRates(workload.SampleDataset(id, rng, 1000), 6)
+		}
+	}
+}
+
+// BenchmarkFig05_ExecTimeCDF regenerates the execution-time CDFs of
+// Figure 5.
+func BenchmarkFig05_ExecTimeCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, id := range workload.AllDatasets() {
+			rng := rand.New(rand.NewSource(int64(id) + 3))
+			workload.ExecTimeCDF(workload.SampleDataset(id, rng, 1000))
+		}
+	}
+}
+
+// BenchmarkFig07_IsoVsHeter regenerates the §3.1 iso-train vs heter-train
+// response-time comparison (Figure 7).
+func BenchmarkFig07_IsoVsHeter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table2Specs(), 7)
+		cfg.Episodes = 8
+		res, err := core.RunIsoHeter(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iso := (stats.Mean(res.IsoTrainIsoTest) + stats.Mean(res.IsoTrainHeterTest)) / 2
+		heter := (stats.Mean(res.HeterTrainIsoTest) + stats.Mean(res.HeterTrainHeterTest)) / 2
+		b.ReportMetric(iso, "iso_resp")
+		b.ReportMetric(heter, "heter_resp")
+	}
+}
+
+// BenchmarkFig08_FedAvgVsPPO regenerates the §3.2 convergence comparison
+// (Figure 8): FedAvg underperforms independent PPO under heterogeneity.
+func BenchmarkFig08_FedAvgVsPPO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table2Specs(), 8)
+		curves, _, err := core.RunConvergence(cfg, []core.Algorithm{core.AlgFedAvg, core.AlgPPO})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tail(curves["PPO"]), "ppo_reward")
+		b.ReportMetric(tail(curves["FedAvg"]), "fedavg_reward")
+	}
+}
+
+// BenchmarkFig09_CriticLoss regenerates the §3.2 critic-loss probes
+// (Figure 9): the aggregated critic evaluates local trajectories worse
+// than the local critic it replaced.
+func BenchmarkFig09_CriticLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table2Specs(), 9)
+		_, results, err := core.RunConvergence(cfg, []core.Algorithm{core.AlgFedAvg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pre, post := core.CriticLossSeries(results[core.AlgFedAvg])
+		b.ReportMetric(stats.Mean(pre), "pre_loss")
+		b.ReportMetric(stats.Mean(post), "post_loss")
+	}
+}
+
+// BenchmarkFig10_SimilarClientWeights regenerates the §3.3 manual-weighting
+// comparison (Figure 10).
+func BenchmarkFig10_SimilarClientWeights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table2Specs(), 10)
+		res, err := core.RunWeightConfigs(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tail(res["Fed-Same2"]), "same2_reward")
+		b.ReportMetric(tail(res["Fed-Same2-weight"]), "same2w_reward")
+	}
+}
+
+// BenchmarkFig11_13_WeightHeatmaps regenerates the §3.3 weight heatmaps
+// (Figures 11–13) and reports the focus statistic of the similar pair
+// under each generator.
+func BenchmarkFig11_13_WeightHeatmaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table2Specs(), 11)
+		res, err := core.RunWeightHeatmaps(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(focus(res.Attention, 0, 1), "attn_focus")
+		b.ReportMetric(focus(res.KL, 0, 1), "kl_focus")
+		b.ReportMetric(focus(res.Cosine, 0, 1), "cos_focus")
+	}
+}
+
+func focus(w [][]float64, i, j int) float64 {
+	k := len(w)
+	sum, cnt := 0.0, 0
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			if r != c {
+				sum += w[r][c]
+				cnt++
+			}
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return w[i][j] / (sum / float64(cnt))
+}
+
+// BenchmarkFig15_Convergence regenerates the headline convergence
+// comparison (Figure 15) over the Table-3 federation.
+func BenchmarkFig15_Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table3Specs(), 15)
+		curves, _, err := core.RunConvergence(cfg, core.AllAlgorithms())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tail(curves["PFRL-DM"]), "pfrldm_reward")
+		b.ReportMetric(tail(curves["MFPO"]), "mfpo_reward")
+		b.ReportMetric(tail(curves["FedAvg"]), "fedavg_reward")
+		b.ReportMetric(tail(curves["PPO"]), "ppo_reward")
+	}
+}
+
+// BenchmarkFig16_19_HybridEval regenerates the hybrid-workload evaluation
+// (Figures 16–19), reporting PFRL-DM's mean metrics across clients.
+func BenchmarkFig16_19_HybridEval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table3Specs(), 16)
+		_, results, err := core.RunConvergence(cfg, []core.Algorithm{core.AlgPFRLDM, core.AlgPPO})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ours := core.EvalHybrid(results[core.AlgPFRLDM], cfg, 0.2)
+		base := core.EvalHybrid(results[core.AlgPPO], cfg, 0.2)
+		b.ReportMetric(stats.Mean(ours.AvgResponse), "pfrldm_resp")
+		b.ReportMetric(stats.Mean(base.AvgResponse), "ppo_resp")
+		b.ReportMetric(stats.Mean(ours.AvgUtil), "pfrldm_util")
+	}
+}
+
+// BenchmarkTable4_Wilcoxon regenerates the Table-4 significance tests.
+func BenchmarkTable4_Wilcoxon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table3Specs(), 4)
+		_, results, err := core.RunConvergence(cfg, core.AllAlgorithms())
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals := map[core.Algorithm]*core.HybridEval{}
+		for alg, r := range results {
+			evals[alg] = core.EvalHybrid(r, cfg, 0.2)
+		}
+		tbl, err := core.BuildWilcoxonTable(evals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tbl.P[0][0], "p_resp_vs_fedavg")
+	}
+}
+
+// BenchmarkFig20_NewAgent regenerates the new-agent-join comparison
+// (Figure 20).
+func BenchmarkFig20_NewAgent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table3Specs(), 20)
+		res, err := core.RunNewAgent(cfg, cfg.Episodes, cfg.Episodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tail(res.Joined), "joined_reward")
+		b.ReportMetric(tail(res.Fresh), "fresh_reward")
+	}
+}
+
+// BenchmarkFig21_CommFrequency regenerates the communication-frequency
+// sweep (Figure 21).
+func BenchmarkFig21_CommFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table3Specs(), 21)
+		out, err := core.RunCommFrequency(cfg, []int{2, 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tail(out[2]), "comm2_reward")
+		b.ReportMetric(tail(out[6]), "comm6_reward")
+	}
+}
+
+// BenchmarkAblationDualCritic compares full PFRL-DM against the α=0
+// variant (public critic only) — the dual-critic design choice.
+func BenchmarkAblationDualCritic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table3Specs(), 30)
+		full, err := core.RunAblation(cfg, core.AblationFull, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		noDual, err := core.RunAblation(cfg, core.AblationNoDualCritic, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tail(full), "full_reward")
+		b.ReportMetric(tail(noDual), "nodual_reward")
+	}
+}
+
+// BenchmarkAblationAttention compares attention aggregation against plain
+// FedAvg over public critics — the personalization design choice.
+func BenchmarkAblationAttention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table3Specs(), 31)
+		full, err := core.RunAblation(cfg, core.AblationFull, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		noAttn, err := core.RunAblation(cfg, core.AblationNoAttention, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tail(full), "attention_reward")
+		b.ReportMetric(tail(noAttn), "fedavg_psi_reward")
+	}
+}
+
+// BenchmarkAblationAlphaAdaptive compares the adaptive Eq. (15) α against
+// a fixed α = 0.5.
+func BenchmarkAblationAlphaAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table3Specs(), 32)
+		adaptive, err := core.RunAblation(cfg, core.AblationFull, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixed, err := core.RunAblation(cfg, core.AblationFixedAlpha, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tail(adaptive), "adaptive_reward")
+		b.ReportMetric(tail(fixed), "fixed_reward")
+	}
+}
+
+// BenchmarkAblationAttentionHeads sweeps the head count of the attention
+// aggregator.
+func BenchmarkAblationAttentionHeads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table3Specs(), 33)
+		h1, err := core.RunAblation(cfg, core.AblationFull, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h4, err := core.RunAblation(cfg, core.AblationFull, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tail(h1), "heads1_reward")
+		b.ReportMetric(tail(h4), "heads4_reward")
+	}
+}
+
+// --- Extension benches (systems built beyond the paper's evaluation) ---
+
+// BenchmarkExtWorkflowScheduling exercises the DAG-workflow extension (the
+// paper's stated future work): PPO trains on fork-join workflows and is
+// scored on mean workflow stretch (latency / critical path; 1.0 is optimal).
+func BenchmarkExtWorkflowScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		vms := []cloudsim.VMSpec{{CPU: 4, Mem: 32}, {CPU: 8, Mem: 64}}
+		cfg := cloudsim.DefaultConfig(vms)
+		cfg.MaxSteps = 1500
+		gen := workflow.DefaultGenConfig(workload.K8S)
+		rng := rand.New(rand.NewSource(40))
+		wfs := workflow.ClampToVMs(workflow.Generate(rng, gen, 8), vms)
+		env, err := workflow.NewEnv(cfg, wfs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agent := rl.NewPPO(rl.DefaultConfig(env.StateDim(), env.NumActions()), rand.New(rand.NewSource(41)))
+		for ep := 0; ep < 8; ep++ {
+			env.Reset(wfs)
+			var buf rl.Buffer
+			rl.CollectEpisode(env, agent, &buf)
+			agent.Update(&buf)
+		}
+		env.Reset(wfs)
+		for !env.Done() {
+			env.Step(agent.GreedyMaskedAction(env.Observe(nil), env.FeasibleActions()))
+		}
+		env.Drain()
+		stretch := 0.0
+		recs := env.WorkflowRecords()
+		for _, r := range recs {
+			stretch += r.Stretch()
+		}
+		if len(recs) > 0 {
+			b.ReportMetric(stretch/float64(len(recs)), "mean_stretch")
+		}
+	}
+}
+
+// BenchmarkExtEnergyObjective compares energy consumption under the
+// default reward against the energy-weighted reward extension, using the
+// consolidating/spreading heuristics as behavioural anchors.
+func BenchmarkExtEnergyObjective(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(42))
+		cfg := cloudsim.DefaultConfig([]cloudsim.VMSpec{{CPU: 8, Mem: 64}, {CPU: 8, Mem: 64}, {CPU: 8, Mem: 64}})
+		tasks := cloudsim.ClampTasks(workload.SampleDataset(workload.Google, rng, 150), cfg.VMs)
+		consolidate := cloudsim.RunEpisode(cloudsim.MustNewEnv(cfg, tasks), cloudsim.FirstFit{})
+		spread := cloudsim.RunEpisode(cloudsim.MustNewEnv(cfg, tasks), cloudsim.WorstFit{})
+		b.ReportMetric(consolidate.EnergyWattSlots, "consolidate_wattslots")
+		b.ReportMetric(spread.EnergyWattSlots, "spread_wattslots")
+	}
+}
+
+// BenchmarkExtFedProxAndSecureAgg trains the two extension baselines on the
+// standard federation for comparison with BenchmarkFig15_Convergence.
+func BenchmarkExtFedProxAndSecureAgg(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchExperiment(core.Table3Specs(), 43)
+		curves, _, err := core.RunConvergence(cfg, core.ExtensionAlgorithms())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tail(curves["FedProx"]), "fedprox_reward")
+		b.ReportMetric(tail(curves["SecureFedAvg"]), "secagg_reward")
+	}
+}

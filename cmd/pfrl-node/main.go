@@ -1,0 +1,219 @@
+// Command pfrl-node runs one node of a networked PFRL-DM federation: either
+// the aggregation server or a training client. Clients exchange only public
+// critic parameters with the server; workload data never leaves a node.
+//
+// Demo on one machine (three terminals):
+//
+//	pfrl-node -mode server -clients 2 -addr 127.0.0.1:7000
+//	pfrl-node -mode client -addr 127.0.0.1:7000 -dataset google -seed 1
+//	pfrl-node -mode client -addr 127.0.0.1:7000 -dataset hpc-hf  -seed 2
+//
+// Or self-contained: -mode demo spawns a server plus N in-process clients
+// connected over localhost TCP.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/fed"
+	"repro/internal/fednet"
+	"repro/internal/rl"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pfrl-node: ")
+	var (
+		mode    = flag.String("mode", "demo", "server | client | demo")
+		addr    = flag.String("addr", "127.0.0.1:0", "server address (server: bind; client: dial)")
+		clients = flag.Int("clients", 4, "server/demo: expected number of clients")
+		k       = flag.Int("k", 0, "participants per round (0 = N/2)")
+		rounds  = flag.Int("rounds", 6, "aggregation rounds")
+		comm    = flag.Int("comm", 5, "episodes per round")
+		tasks   = flag.Int("tasks", 80, "tasks per client")
+		dataset = flag.String("dataset", "google", "client: workload dataset name")
+		seed    = flag.Int64("seed", 1, "node seed")
+	)
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "server":
+		err = runServer(*addr, *clients, *k, *seed)
+	case "client":
+		err = runClient(*addr, *dataset, *tasks, *rounds, *comm, *seed)
+	case "demo":
+		err = runDemo(*clients, *k, *rounds, *comm, *tasks, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// federationEnv builds the shared environment shape every node must agree
+// on (the federation-wide caps of §4.1). A real deployment would negotiate
+// this; here both sides derive it from the scaled Table-3 specs.
+func federationEnv(spec core.ClientSpec) cloudsim.Config {
+	caps := core.CapsFor(core.ScaleSpecs(core.Table3Specs(), 4))
+	return caps.EnvConfig(spec)
+}
+
+func specFor(dataset string, seed int64) (core.ClientSpec, error) {
+	name := strings.ToLower(dataset)
+	for _, s := range core.ScaleSpecs(core.Table3Specs(), 4) {
+		if strings.ToLower(s.Dataset.String()) == name {
+			s.Name = fmt.Sprintf("%s-node%d", s.Dataset, seed)
+			return s, nil
+		}
+	}
+	return core.ClientSpec{}, fmt.Errorf("unknown dataset %q (try: google, alibaba-2017, hpc-hf, kvm-2019, k8s, ...)", dataset)
+}
+
+func buildLocal(spec core.ClientSpec, tasks int, seed int64) (*fed.Client, error) {
+	envCfg := federationEnv(spec)
+	envCfg.MaxSteps = 5 * tasks
+	rng := rand.New(rand.NewSource(seed))
+	ts := cloudsim.ClampTasks(workload.SampleDataset(spec.Dataset, rng, tasks), spec.VMs)
+	agent := rl.NewDualCriticPPO(
+		rl.DefaultConfig(cloudsim.StateDim(envCfg), envCfg.PadVMs+1),
+		rand.New(rand.NewSource(seed*7919+13)))
+	return fed.NewClient(int(seed), spec.Name, envCfg, ts, agent)
+}
+
+func runServer(addr string, clients, k int, seed int64) error {
+	// The server needs ψ_G^(0) with the federation's network shape.
+	spec, err := specFor("google", seed)
+	if err != nil {
+		return err
+	}
+	ref, err := buildLocal(spec, 10, seed)
+	if err != nil {
+		return err
+	}
+	transport := fed.PublicCriticTransport{}
+	if k <= 0 {
+		k = clients / 2
+	}
+	srv, err := fednet.NewServer(fednet.ServerConfig{
+		Clients: clients, K: k, Seed: seed,
+		InitialGlobal: transport.Upload(ref),
+		Aggregator:    fed.NewAttention(seed),
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aggregation server on %s (N=%d, K=%d); Ctrl-C to stop\n", bound, clients, k)
+	select {} // serve forever
+}
+
+func runClient(addr, dataset string, tasks, rounds, comm int, seed int64) error {
+	spec, err := specFor(dataset, seed)
+	if err != nil {
+		return err
+	}
+	local, err := buildLocal(spec, tasks, seed)
+	if err != nil {
+		return err
+	}
+	rc, err := fednet.Dial(addr, local, fed.PublicCriticTransport{})
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	fmt.Printf("client %d (%s) joined %s; training %d rounds x %d episodes\n",
+		rc.ID(), spec.Dataset, addr, rounds, comm)
+	if err := rc.RunRounds(rounds, comm); err != nil {
+		return err
+	}
+	printCurve(local)
+	return nil
+}
+
+func runDemo(clients, k, rounds, comm, tasks int, seed int64) error {
+	specs := core.ScaleSpecs(core.Table3Specs(), 4)
+	if clients > len(specs) {
+		clients = len(specs)
+	}
+	ref, err := buildLocal(specs[0], 10, seed+999)
+	if err != nil {
+		return err
+	}
+	transport := fed.PublicCriticTransport{}
+	if k <= 0 {
+		k = clients / 2
+		if k < 1 {
+			k = 1
+		}
+	}
+	srv, err := fednet.NewServer(fednet.ServerConfig{
+		Clients: clients, K: k, Seed: seed,
+		InitialGlobal: transport.Upload(ref),
+		Aggregator:    fed.NewAttention(seed),
+	})
+	if err != nil {
+		return err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("demo federation on %s: %d clients, K=%d, %d rounds x %d episodes\n\n",
+		addr, clients, k, rounds, comm)
+
+	var wg sync.WaitGroup
+	locals := make([]*fed.Client, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		local, err := buildLocal(specs[i], tasks, seed+int64(i))
+		if err != nil {
+			return err
+		}
+		locals[i] = local
+		rc, err := fednet.Dial(addr, local, transport)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(i int, rc *fednet.RemoteClient) {
+			defer wg.Done()
+			defer rc.Close()
+			errs[i] = rc.RunRounds(rounds, comm)
+		}(i, rc)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d: %w", i, err)
+		}
+	}
+	fmt.Printf("server completed %d rounds; global model %d params\n\n", srv.Rounds(), len(srv.Global()))
+	for _, local := range locals {
+		printCurve(local)
+	}
+	return nil
+}
+
+func printCurve(c *fed.Client) {
+	if len(c.Rewards) == 0 {
+		return
+	}
+	first, last := c.Rewards[0], c.Rewards[len(c.Rewards)-1]
+	fmt.Printf("  %-22s episodes=%-3d reward %8.1f -> %8.1f\n", c.Name, len(c.Rewards), first, last)
+}

@@ -1,0 +1,32 @@
+// Package repro is a from-scratch Go reproduction of "Heterogeneity-aware
+// Task Scheduling based on Personalized Federated Reinforcement Learning"
+// (PFRL-DM, ICPP 2025).
+//
+// The root package is a thin facade over the internal packages; it exposes
+// the high-level entry points a downstream user needs:
+//
+//   - Train a scheduler federation with any of the compared algorithms
+//     (PFRL-DM, MFPO, FedAvg, independent PPO) via TrainFederation.
+//   - Build standalone scheduling environments and agents for custom
+//     experiments via NewEnvironment and NewAgent.
+//   - Regenerate every figure and table of the paper via the runners in
+//     internal/core, the benches in bench_test.go, and the CLI tools in
+//     cmd/.
+//
+// Architecture (bottom-up):
+//
+//	internal/tensor    dense float64 matrices, goroutine-tiled matmul
+//	internal/autograd  tape-based reverse-mode autodiff
+//	internal/nn        MLPs, Adam/SGD, categorical policies, flat params
+//	internal/attn      multi-head attention / KL / cosine weight generators
+//	internal/workload  the ten modelled cluster trace distributions
+//	internal/cloudsim  the discrete-time cloud scheduling MDP (§4.1-4.2)
+//	internal/rl        PPO and dual-critic PPO (§4.3)
+//	internal/fed       clients, server rounds, aggregators (§4.4-4.5)
+//	internal/core      experiment orchestration, one runner per figure
+//	internal/stats     Wilcoxon signed-rank test and descriptive stats
+//	internal/trace     result tables and CSV series
+//
+// See README.md for a quickstart and DESIGN.md for the full system
+// inventory and per-experiment index.
+package repro

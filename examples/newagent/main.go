@@ -1,0 +1,56 @@
+// New agent: a fresh cloud provider joins an established PFRL-DM
+// federation (§5.3, Figure 20). The joiner is initialized from the
+// server's aggregated critic and converges faster than an identical
+// provider training a PPO scheduler from scratch.
+//
+//	go run ./examples/newagent
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The 10-provider Table-3 federation, as in the paper's Figure 20 (a
+	// richer server model makes the warm start pay off sooner).
+	cfg := core.DefaultExperiment(1)
+	cfg.TasksPerClient = 80
+	cfg.Episodes = 30
+	cfg.CommEvery = 5
+	cfg.EpisodeStepCap = 400
+
+	warmup, join := 30, 30
+	fmt.Printf("warming up a %d-client PFRL-DM federation for %d episodes, then joining a new provider for %d...\n\n",
+		len(cfg.Specs), warmup, join)
+	res, err := core.RunNewAgent(cfg, warmup, join)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := trace.NewTable("episode", "joined (server init)", "fresh PPO (random init)")
+	js := stats.MovingAverage(res.Joined, 3)
+	fs := stats.MovingAverage(res.Fresh, 3)
+	for i := range js {
+		t.AddRow(i+1, js[i], fs[i])
+	}
+	fmt.Print(t.String())
+
+	jTail := stats.Mean(res.Joined[len(res.Joined)/2:])
+	fTail := stats.Mean(res.Fresh[len(res.Fresh)/2:])
+	fmt.Printf("\nsecond-half mean reward: joined %.1f vs fresh %.1f\n", jTail, fTail)
+	if jTail > fTail {
+		fmt.Println("the joiner's inherited value function paid off: it converged ahead")
+		fmt.Println("of the from-scratch baseline (the paper's Figure-20 shape).")
+	} else {
+		fmt.Println("at this small scale the warm-started value function has not paid")
+		fmt.Println("off yet — the advantage grows with warmup length and episode count")
+		fmt.Println("(see `pfrl-bench -exp fig20 -episodes 30` and EXPERIMENTS.md).")
+	}
+}

@@ -1,0 +1,65 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestFacadeSampleWorkload(t *testing.T) {
+	tasks := SampleWorkload(workload.Google, 1, 50)
+	if len(tasks) != 50 {
+		t.Fatalf("got %d tasks", len(tasks))
+	}
+	again := SampleWorkload(workload.Google, 1, 50)
+	if tasks[0] != again[0] {
+		t.Fatal("sampling not seed-deterministic")
+	}
+}
+
+func TestFacadeEnvironmentAndAgents(t *testing.T) {
+	vms := []VMSpec{{CPU: 4, Mem: 16}, {CPU: 8, Mem: 32}}
+	env, err := NewEnvironment(vms, SampleWorkload(workload.K8S, 2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.NumActions() != 3 {
+		t.Fatalf("actions %d", env.NumActions())
+	}
+	ppo := NewPPOAgent(env, 3)
+	dual := NewDualCriticAgent(env, 4)
+	state := env.Observe(nil)
+	if a, _ := ppo.SelectAction(state); a < 0 || a >= env.NumActions() {
+		t.Fatal("ppo action out of range")
+	}
+	if a, _ := dual.SelectAction(state); a < 0 || a >= env.NumActions() {
+		t.Fatal("dual action out of range")
+	}
+}
+
+func TestFacadeTrainFederation(t *testing.T) {
+	cfg := DefaultExperiment(5)
+	cfg.Specs = ScaleSpecs(Table2Specs(), 4)[:2]
+	cfg.TasksPerClient = 20
+	cfg.Episodes = 2
+	cfg.CommEvery = 1
+	cfg.EpisodeStepCap = 100
+	cfg.Parallel = false
+	res, err := TrainFederation(PFRLDM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MeanCurve) != 2 || res.Federation == nil {
+		t.Fatal("federation result incomplete")
+	}
+}
+
+func TestFacadeSpecAccessors(t *testing.T) {
+	if len(Table2Specs()) != 4 || len(Table3Specs()) != 10 {
+		t.Fatal("spec tables wrong")
+	}
+	scaled := ScaleSpecs(Table3Specs(), 2)
+	if scaled[0].VMs[0].CPU != 4 {
+		t.Fatalf("scaling wrong: %+v", scaled[0].VMs[0])
+	}
+}

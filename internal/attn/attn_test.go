@@ -1,0 +1,250 @@
+package attn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// syntheticEmbeddings builds K client embeddings that mimic federated
+// training from a shared initialization: every vector is base + drift,
+// where clients 0 and 1 share a drift direction (same environment) and the
+// others drift independently.
+func syntheticEmbeddings(rng *rand.Rand, k, dim int, baseScale, driftScale float64) [][]float64 {
+	base := make([]float64, dim)
+	for i := range base {
+		base[i] = baseScale * rng.NormFloat64()
+	}
+	shared := make([]float64, dim)
+	for i := range shared {
+		shared[i] = rng.NormFloat64()
+	}
+	out := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		e := make([]float64, dim)
+		for i := range e {
+			drift := rng.NormFloat64()
+			if c < 2 {
+				// Same-environment pair: aligned drift plus small noise.
+				drift = shared[i] + 0.2*rng.NormFloat64()
+			}
+			e[i] = base[i] + driftScale*drift
+		}
+		out[c] = e
+	}
+	return out
+}
+
+func assertRowStochastic(t *testing.T, w [][]float64) {
+	t.Helper()
+	for i, row := range w {
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				t.Fatalf("weight out of [0,1]: w[%d]=%v", i, row)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestAttentionWeightsRowStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	emb := syntheticEmbeddings(rng, 4, 200, 1.0, 0.05)
+	w := NewAggregator(7).Weights(emb)
+	if len(w) != 4 || len(w[0]) != 4 {
+		t.Fatalf("shape %dx%d", len(w), len(w[0]))
+	}
+	assertRowStochastic(t, w)
+}
+
+func TestAttentionFocusesOnSimilarClients(t *testing.T) {
+	// The Figure-11 property: same-environment clients 0 and 1 must pay
+	// each other markedly more attention than the average pair.
+	rng := rand.New(rand.NewSource(2))
+	emb := syntheticEmbeddings(rng, 4, 400, 1.0, 0.05)
+	w := NewAggregator(7).Weights(emb)
+	if f := Focus(w, 0, 1); f < 1.5 {
+		t.Fatalf("attention focus(0,1)=%v, want > 1.5 (w=%v)", f, w)
+	}
+	if f := Focus(w, 1, 0); f < 1.5 {
+		t.Fatalf("attention focus(1,0)=%v, want > 1.5", f)
+	}
+	// And an unrelated pair should not be favored.
+	if Focus(w, 2, 3) > Focus(w, 0, 1) {
+		t.Fatal("unrelated pair outranks the similar pair")
+	}
+}
+
+func TestCosineFailsToFocusUnderSharedInit(t *testing.T) {
+	// The Figure-13 property: with a dominant shared component, cosine
+	// weights are near-uniform.
+	rng := rand.New(rand.NewSource(3))
+	emb := syntheticEmbeddings(rng, 4, 400, 1.0, 0.05)
+	w := CosineWeights(emb)
+	assertRowStochastic(t, w)
+	for i := range w {
+		for j := range w[i] {
+			if math.Abs(w[i][j]-0.25) > 0.05 {
+				t.Fatalf("cosine weights should be near uniform, got w[%d][%d]=%v", i, j, w[i][j])
+			}
+		}
+	}
+}
+
+func TestKLFailsToFocusUnderSharedInit(t *testing.T) {
+	// The Figure-12 property.
+	rng := rand.New(rand.NewSource(4))
+	emb := syntheticEmbeddings(rng, 4, 400, 1.0, 0.05)
+	w := KLWeights(emb)
+	assertRowStochastic(t, w)
+	if f := Focus(w, 0, 1); f > 1.3 {
+		t.Fatalf("KL weights unexpectedly focus: %v", f)
+	}
+}
+
+func TestAttentionBeatsBaselinesAtFocusing(t *testing.T) {
+	// The cross-figure comparison the paper's §3.3 draws.
+	rng := rand.New(rand.NewSource(5))
+	emb := syntheticEmbeddings(rng, 4, 400, 1.0, 0.05)
+	fa := Focus(NewAggregator(7).Weights(emb), 0, 1)
+	fc := Focus(CosineWeights(emb), 0, 1)
+	fk := Focus(KLWeights(emb), 0, 1)
+	if !(fa > fc && fa > fk) {
+		t.Fatalf("attention focus %v should exceed cosine %v and KL %v", fa, fc, fk)
+	}
+}
+
+func TestAttentionDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	emb := syntheticEmbeddings(rng, 3, 100, 1.0, 0.1)
+	w1 := NewAggregator(42).Weights(emb)
+	w2 := NewAggregator(42).Weights(emb)
+	for i := range w1 {
+		for j := range w1[i] {
+			if w1[i][j] != w2[i][j] {
+				t.Fatal("same seed must give identical weights")
+			}
+		}
+	}
+	w3 := NewAggregator(43).Weights(emb)
+	same := true
+	for i := range w1 {
+		for j := range w1[i] {
+			if w1[i][j] != w3[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different weights")
+	}
+}
+
+func TestAttentionIdenticalEmbeddingsUniform(t *testing.T) {
+	// With all-identical embeddings, centering leaves zero drift and the
+	// softmax must fall back to uniform rows.
+	e := make([]float64, 50)
+	for i := range e {
+		e[i] = float64(i)
+	}
+	emb := [][]float64{e, e, e}
+	w := NewAggregator(1).Weights(emb)
+	assertRowStochastic(t, w)
+	for i := range w {
+		for j := range w[i] {
+			if math.Abs(w[i][j]-1.0/3) > 1e-9 {
+				t.Fatalf("identical embeddings should give uniform weights, got %v", w)
+			}
+		}
+	}
+}
+
+func TestWeightsPanicOnRaggedInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAggregator(1).Weights([][]float64{{1, 2}, {1}})
+}
+
+func TestWeightsPanicOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAggregator(1).Weights(nil)
+}
+
+func TestKLDivergenceProperties(t *testing.T) {
+	p := []float64{0.7, 0.2, 0.1}
+	q := []float64{0.1, 0.2, 0.7}
+	if klDivergence(p, p) > 1e-9 {
+		t.Fatal("KL(p||p) should be ~0")
+	}
+	if klDivergence(p, q) <= 0 {
+		t.Fatal("KL(p||q) should be positive for p != q")
+	}
+}
+
+func TestSoftmaxVecStable(t *testing.T) {
+	out := softmaxVec([]float64{1000, 1000, 1000})
+	for _, v := range out {
+		if math.Abs(v-1.0/3) > 1e-9 {
+			t.Fatalf("softmaxVec unstable: %v", out)
+		}
+	}
+}
+
+func TestFocusEdgeCases(t *testing.T) {
+	if Focus([][]float64{{1}}, 0, 0) != 1 {
+		t.Fatal("single client focus should be 1")
+	}
+	uniform := [][]float64{{0.5, 0.5}, {0.5, 0.5}}
+	if math.Abs(Focus(uniform, 0, 1)-1) > 1e-9 {
+		t.Fatal("uniform matrix focus should be 1")
+	}
+}
+
+func TestPropAllGeneratorsRowStochastic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(6)
+		dim := 10 + rng.Intn(100)
+		emb := make([][]float64, k)
+		for i := range emb {
+			emb[i] = make([]float64, dim)
+			for j := range emb[i] {
+				emb[i][j] = rng.NormFloat64() * 3
+			}
+		}
+		for _, w := range [][][]float64{
+			NewAggregator(seed).Weights(emb),
+			CosineWeights(emb),
+			KLWeights(emb),
+		} {
+			for _, row := range w {
+				sum := 0.0
+				for _, v := range row {
+					if v < -1e-12 {
+						return false
+					}
+					sum += v
+				}
+				if math.Abs(sum-1) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

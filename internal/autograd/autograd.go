@@ -1,0 +1,136 @@
+// Package autograd implements a tape-based reverse-mode automatic
+// differentiation engine over tensor.Matrix values.
+//
+// A Tape records every operation in execution order; because operations are
+// appended as they run, iterating the tape in reverse is a valid topological
+// order for backpropagation. The engine supports exactly the operator set
+// needed by the PPO agents and the attention aggregator in this repository:
+// dense layers, pointwise nonlinearities, softmax/log-softmax, the clipped
+// surrogate objective (elementwise min and clamp), and scalar reductions.
+//
+// Typical usage:
+//
+//	tape := autograd.NewTape()
+//	x := tape.Const(batch)                     // input, no gradient
+//	w := tape.Param(weights, weightGrads)      // leaf with external grad buffer
+//	y := autograd.Tanh(autograd.MatMul(x, w))
+//	loss := autograd.Mean(autograd.Square(autograd.Sub(y, target)))
+//	loss.Backward()                            // weightGrads now holds dLoss/dW
+package autograd
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Value is a node in the computation graph. Data holds the forward result;
+// Grad (lazily allocated) accumulates the gradient of the final scalar output
+// with respect to this node.
+type Value struct {
+	Data *tensor.Matrix
+	Grad *tensor.Matrix
+
+	tape         *Tape
+	requiresGrad bool
+	back         func()
+}
+
+// Tape records operations for reverse-mode differentiation. A Tape is not
+// safe for concurrent use; build one graph per goroutine.
+type Tape struct {
+	nodes []*Value
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Len returns the number of recorded nodes (useful in tests).
+func (t *Tape) Len() int { return len(t.nodes) }
+
+// node registers a freshly computed value on the tape.
+func (t *Tape) node(data *tensor.Matrix, requiresGrad bool, back func()) *Value {
+	v := &Value{Data: data, tape: t, requiresGrad: requiresGrad, back: back}
+	t.nodes = append(t.nodes, v)
+	return v
+}
+
+// Const registers data as a constant leaf: no gradient is computed for it.
+// The matrix is NOT copied; callers must not mutate it while the tape is live.
+func (t *Tape) Const(data *tensor.Matrix) *Value {
+	return t.node(data, false, nil)
+}
+
+// Var registers data as a differentiable leaf whose gradient is allocated
+// internally (read it from Value.Grad after Backward).
+func (t *Tape) Var(data *tensor.Matrix) *Value {
+	return t.node(data, true, nil)
+}
+
+// Param registers data as a differentiable leaf whose gradient accumulates
+// into the caller-provided buffer grad (shape must match). This lets
+// optimizers own their gradient storage across steps.
+func (t *Tape) Param(data, grad *tensor.Matrix) *Value {
+	if !data.SameShape(grad) {
+		panic(fmt.Sprintf("autograd: Param grad shape %dx%d != data shape %dx%d",
+			grad.Rows, grad.Cols, data.Rows, data.Cols))
+	}
+	v := t.node(data, true, nil)
+	v.Grad = grad
+	return v
+}
+
+// ensureGrad allocates the gradient buffer if needed and returns it.
+func (v *Value) ensureGrad() *tensor.Matrix {
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Data.Rows, v.Data.Cols)
+	}
+	return v.Grad
+}
+
+// accum adds delta into v's gradient if v participates in differentiation.
+func (v *Value) accum(delta *tensor.Matrix) {
+	if !v.requiresGrad {
+		return
+	}
+	v.ensureGrad().AddInPlace(delta)
+}
+
+// accumScaled adds s*delta into v's gradient if v participates.
+func (v *Value) accumScaled(delta *tensor.Matrix, s float64) {
+	if !v.requiresGrad {
+		return
+	}
+	v.ensureGrad().AddScaledInPlace(delta, s)
+}
+
+// Item returns the sole element of a 1x1 value. It panics otherwise.
+func (v *Value) Item() float64 {
+	if v.Data.Rows != 1 || v.Data.Cols != 1 {
+		panic(fmt.Sprintf("autograd: Item on %dx%d value", v.Data.Rows, v.Data.Cols))
+	}
+	return v.Data.Data[0]
+}
+
+// Backward runs reverse-mode differentiation from v, which must be a 1x1
+// scalar. Gradients accumulate into every reachable leaf (Var/Param).
+func (v *Value) Backward() {
+	if v.Data.Rows != 1 || v.Data.Cols != 1 {
+		panic(fmt.Sprintf("autograd: Backward on non-scalar %dx%d value", v.Data.Rows, v.Data.Cols))
+	}
+	v.ensureGrad().Data[0] += 1
+	t := v.tape
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.back != nil && n.Grad != nil && n.requiresGrad {
+			n.back()
+		}
+	}
+}
+
+func sameTape(a, b *Value) *Tape {
+	if a.tape != b.tape {
+		panic("autograd: operands from different tapes")
+	}
+	return a.tape
+}

@@ -1,0 +1,39 @@
+package autograd
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// NumericGrad estimates d f / d input by central finite differences with
+// step h. f must rebuild its computation from the (mutated) input each call
+// and return a scalar. The input matrix is restored before returning.
+func NumericGrad(input *tensor.Matrix, h float64, f func() float64) *tensor.Matrix {
+	g := tensor.New(input.Rows, input.Cols)
+	for i := range input.Data {
+		orig := input.Data[i]
+		input.Data[i] = orig + h
+		fp := f()
+		input.Data[i] = orig - h
+		fm := f()
+		input.Data[i] = orig
+		g.Data[i] = (fp - fm) / (2 * h)
+	}
+	return g
+}
+
+// MaxGradError returns the largest relative error between an analytic
+// gradient and a numeric one, using max(1, |num|) as the denominator so tiny
+// gradients compare absolutely.
+func MaxGradError(analytic, numeric *tensor.Matrix) float64 {
+	worst := 0.0
+	for i := range analytic.Data {
+		denom := math.Max(1, math.Abs(numeric.Data[i]))
+		e := math.Abs(analytic.Data[i]-numeric.Data[i]) / denom
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,386 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MatMul returns a·b with gradients da += g·bᵀ and db += aᵀ·g.
+func MatMul(a, b *Value) *Value {
+	t := sameTape(a, b)
+	out := t.node(a.Data.MatMul(b.Data), a.requiresGrad || b.requiresGrad, nil)
+	out.back = func() {
+		g := out.Grad
+		if a.requiresGrad {
+			a.accum(g.MatMulTransB(b.Data))
+		}
+		if b.requiresGrad {
+			b.accum(a.Data.MatMulTransA(g))
+		}
+	}
+	return out
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Value) *Value {
+	t := sameTape(a, b)
+	out := t.node(a.Data.Add(b.Data), a.requiresGrad || b.requiresGrad, nil)
+	out.back = func() {
+		a.accum(out.Grad)
+		b.accum(out.Grad)
+	}
+	return out
+}
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Value) *Value {
+	t := sameTape(a, b)
+	out := t.node(a.Data.Sub(b.Data), a.requiresGrad || b.requiresGrad, nil)
+	out.back = func() {
+		a.accum(out.Grad)
+		b.accumScaled(out.Grad, -1)
+	}
+	return out
+}
+
+// Mul returns the elementwise product a∘b.
+func Mul(a, b *Value) *Value {
+	t := sameTape(a, b)
+	out := t.node(a.Data.MulElem(b.Data), a.requiresGrad || b.requiresGrad, nil)
+	out.back = func() {
+		if a.requiresGrad {
+			a.accum(out.Grad.MulElem(b.Data))
+		}
+		if b.requiresGrad {
+			b.accum(out.Grad.MulElem(a.Data))
+		}
+	}
+	return out
+}
+
+// Div returns the elementwise quotient a/b.
+func Div(a, b *Value) *Value {
+	t := sameTape(a, b)
+	out := t.node(a.Data.DivElem(b.Data), a.requiresGrad || b.requiresGrad, nil)
+	out.back = func() {
+		if a.requiresGrad {
+			a.accum(out.Grad.DivElem(b.Data))
+		}
+		if b.requiresGrad {
+			// d/db (a/b) = -a/b²
+			d := out.Grad.MulElem(a.Data)
+			d = d.DivElem(b.Data).DivElem(b.Data)
+			b.accumScaled(d, -1)
+		}
+	}
+	return out
+}
+
+// AddRow adds a 1xC bias row vector to every row of a (a dense layer bias).
+func AddRow(a, bias *Value) *Value {
+	t := sameTape(a, bias)
+	out := t.node(a.Data.AddRowBroadcast(bias.Data), a.requiresGrad || bias.requiresGrad, nil)
+	out.back = func() {
+		a.accum(out.Grad)
+		if bias.requiresGrad {
+			bias.accum(out.Grad.SumCols())
+		}
+	}
+	return out
+}
+
+// Scale returns s·a.
+func Scale(a *Value, s float64) *Value {
+	out := a.tape.node(a.Data.Scale(s), a.requiresGrad, nil)
+	out.back = func() { a.accumScaled(out.Grad, s) }
+	return out
+}
+
+// AddScalar returns a + s elementwise.
+func AddScalar(a *Value, s float64) *Value {
+	out := a.tape.node(a.Data.AddScalar(s), a.requiresGrad, nil)
+	out.back = func() { a.accum(out.Grad) }
+	return out
+}
+
+// Neg returns -a.
+func Neg(a *Value) *Value { return Scale(a, -1) }
+
+// Tanh returns tanh(a) elementwise.
+func Tanh(a *Value) *Value {
+	out := a.tape.node(a.Data.Apply(math.Tanh), a.requiresGrad, nil)
+	out.back = func() {
+		// d tanh = 1 - tanh²
+		d := out.Data.Apply(func(y float64) float64 { return 1 - y*y })
+		a.accum(out.Grad.MulElem(d))
+	}
+	return out
+}
+
+// ReLU returns max(a, 0) elementwise.
+func ReLU(a *Value) *Value {
+	out := a.tape.node(a.Data.Apply(func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	}), a.requiresGrad, nil)
+	out.back = func() {
+		d := tensor.New(a.Data.Rows, a.Data.Cols)
+		for i, x := range a.Data.Data {
+			if x > 0 {
+				d.Data[i] = out.Grad.Data[i]
+			}
+		}
+		a.accum(d)
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+e^{-a}) elementwise.
+func Sigmoid(a *Value) *Value {
+	out := a.tape.node(a.Data.Apply(func(x float64) float64 {
+		return 1 / (1 + math.Exp(-x))
+	}), a.requiresGrad, nil)
+	out.back = func() {
+		d := out.Data.Apply(func(y float64) float64 { return y * (1 - y) })
+		a.accum(out.Grad.MulElem(d))
+	}
+	return out
+}
+
+// Exp returns e^a elementwise.
+func Exp(a *Value) *Value {
+	out := a.tape.node(a.Data.Apply(math.Exp), a.requiresGrad, nil)
+	out.back = func() { a.accum(out.Grad.MulElem(out.Data)) }
+	return out
+}
+
+// Log returns ln(a) elementwise. Behaviour for non-positive inputs follows
+// math.Log (NaN / -Inf); callers are expected to keep inputs positive.
+func Log(a *Value) *Value {
+	out := a.tape.node(a.Data.Apply(math.Log), a.requiresGrad, nil)
+	out.back = func() { a.accum(out.Grad.DivElem(a.Data)) }
+	return out
+}
+
+// Square returns a² elementwise.
+func Square(a *Value) *Value {
+	out := a.tape.node(a.Data.Apply(func(x float64) float64 { return x * x }), a.requiresGrad, nil)
+	out.back = func() {
+		d := out.Grad.MulElem(a.Data)
+		a.accumScaled(d, 2)
+	}
+	return out
+}
+
+// Sum returns the 1x1 sum of all elements of a.
+func Sum(a *Value) *Value {
+	out := a.tape.node(tensor.FromSlice(1, 1, []float64{a.Data.Sum()}), a.requiresGrad, nil)
+	out.back = func() {
+		a.accum(tensor.Full(a.Data.Rows, a.Data.Cols, out.Grad.Data[0]))
+	}
+	return out
+}
+
+// Mean returns the 1x1 mean of all elements of a.
+func Mean(a *Value) *Value {
+	n := len(a.Data.Data)
+	if n == 0 {
+		panic("autograd: Mean of empty value")
+	}
+	out := a.tape.node(tensor.FromSlice(1, 1, []float64{a.Data.Mean()}), a.requiresGrad, nil)
+	out.back = func() {
+		a.accum(tensor.Full(a.Data.Rows, a.Data.Cols, out.Grad.Data[0]/float64(n)))
+	}
+	return out
+}
+
+// Minimum returns the elementwise minimum of a and b. Where the values tie,
+// the gradient flows to a (this matches the PPO convention where ties are
+// irrelevant).
+func Minimum(a, b *Value) *Value {
+	t := sameTape(a, b)
+	if !a.Data.SameShape(b.Data) {
+		panic(fmt.Sprintf("autograd: Minimum shape mismatch %dx%d vs %dx%d",
+			a.Data.Rows, a.Data.Cols, b.Data.Rows, b.Data.Cols))
+	}
+	data := tensor.New(a.Data.Rows, a.Data.Cols)
+	fromA := make([]bool, len(data.Data))
+	for i := range data.Data {
+		if a.Data.Data[i] <= b.Data.Data[i] {
+			data.Data[i] = a.Data.Data[i]
+			fromA[i] = true
+		} else {
+			data.Data[i] = b.Data.Data[i]
+		}
+	}
+	out := t.node(data, a.requiresGrad || b.requiresGrad, nil)
+	out.back = func() {
+		da := tensor.New(data.Rows, data.Cols)
+		db := tensor.New(data.Rows, data.Cols)
+		for i, fa := range fromA {
+			if fa {
+				da.Data[i] = out.Grad.Data[i]
+			} else {
+				db.Data[i] = out.Grad.Data[i]
+			}
+		}
+		a.accum(da)
+		b.accum(db)
+	}
+	return out
+}
+
+// Clamp returns a with every element clipped into [lo, hi]. The gradient is
+// passed through inside the interval and zero outside (the straight-through
+// behaviour PyTorch's clamp has, which PPO's clipped objective relies on).
+func Clamp(a *Value, lo, hi float64) *Value {
+	data := tensor.New(a.Data.Rows, a.Data.Cols)
+	inside := make([]bool, len(data.Data))
+	for i, x := range a.Data.Data {
+		switch {
+		case x < lo:
+			data.Data[i] = lo
+		case x > hi:
+			data.Data[i] = hi
+		default:
+			data.Data[i] = x
+			inside[i] = true
+		}
+	}
+	out := a.tape.node(data, a.requiresGrad, nil)
+	out.back = func() {
+		d := tensor.New(data.Rows, data.Cols)
+		for i, in := range inside {
+			if in {
+				d.Data[i] = out.Grad.Data[i]
+			}
+		}
+		a.accum(d)
+	}
+	return out
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row of a.
+func SoftmaxRows(a *Value) *Value {
+	s := a.Data.SoftmaxRows()
+	out := a.tape.node(s, a.requiresGrad, nil)
+	out.back = func() {
+		// dx = s ∘ (g - rowdot(g, s))
+		d := tensor.New(s.Rows, s.Cols)
+		for i := 0; i < s.Rows; i++ {
+			srow := s.Row(i)
+			grow := out.Grad.Row(i)
+			dot := 0.0
+			for j := range srow {
+				dot += srow[j] * grow[j]
+			}
+			drow := d.Row(i)
+			for j := range srow {
+				drow[j] = srow[j] * (grow[j] - dot)
+			}
+		}
+		a.accum(d)
+	}
+	return out
+}
+
+// LogSoftmaxRows applies a numerically stable log-softmax to each row of a.
+func LogSoftmaxRows(a *Value) *Value {
+	ls := a.Data.LogSoftmaxRows()
+	out := a.tape.node(ls, a.requiresGrad, nil)
+	out.back = func() {
+		// dx = g - softmax ∘ rowsum(g)
+		d := tensor.New(ls.Rows, ls.Cols)
+		for i := 0; i < ls.Rows; i++ {
+			lrow := ls.Row(i)
+			grow := out.Grad.Row(i)
+			gsum := 0.0
+			for _, g := range grow {
+				gsum += g
+			}
+			drow := d.Row(i)
+			for j := range lrow {
+				drow[j] = grow[j] - math.Exp(lrow[j])*gsum
+			}
+		}
+		a.accum(d)
+	}
+	return out
+}
+
+// PickCols returns an Nx1 column whose i-th entry is a[i, idx[i]].
+// It is used to select the log-probability of the action actually taken.
+func PickCols(a *Value, idx []int) *Value {
+	if len(idx) != a.Data.Rows {
+		panic(fmt.Sprintf("autograd: PickCols got %d indices for %d rows", len(idx), a.Data.Rows))
+	}
+	data := tensor.New(a.Data.Rows, 1)
+	for i, j := range idx {
+		if j < 0 || j >= a.Data.Cols {
+			panic(fmt.Sprintf("autograd: PickCols index %d out of range [0,%d)", j, a.Data.Cols))
+		}
+		data.Data[i] = a.Data.At(i, j)
+	}
+	out := a.tape.node(data, a.requiresGrad, nil)
+	out.back = func() {
+		d := tensor.New(a.Data.Rows, a.Data.Cols)
+		for i, j := range idx {
+			d.Set(i, j, out.Grad.Data[i])
+		}
+		a.accum(d)
+	}
+	return out
+}
+
+// SumRows returns an Nx1 column of per-row sums.
+func SumRows(a *Value) *Value {
+	out := a.tape.node(a.Data.SumRows(), a.requiresGrad, nil)
+	out.back = func() {
+		d := tensor.New(a.Data.Rows, a.Data.Cols)
+		for i := 0; i < a.Data.Rows; i++ {
+			g := out.Grad.Data[i]
+			drow := d.Row(i)
+			for j := range drow {
+				drow[j] = g
+			}
+		}
+		a.accum(d)
+	}
+	return out
+}
+
+// ConcatCols concatenates a (NxA) and b (NxB) into an Nx(A+B) value.
+func ConcatCols(a, b *Value) *Value {
+	t := sameTape(a, b)
+	if a.Data.Rows != b.Data.Rows {
+		panic(fmt.Sprintf("autograd: ConcatCols row mismatch %d vs %d", a.Data.Rows, b.Data.Rows))
+	}
+	n, ca, cb := a.Data.Rows, a.Data.Cols, b.Data.Cols
+	data := tensor.New(n, ca+cb)
+	for i := 0; i < n; i++ {
+		copy(data.Row(i)[:ca], a.Data.Row(i))
+		copy(data.Row(i)[ca:], b.Data.Row(i))
+	}
+	out := t.node(data, a.requiresGrad || b.requiresGrad, nil)
+	out.back = func() {
+		if a.requiresGrad {
+			da := tensor.New(n, ca)
+			for i := 0; i < n; i++ {
+				copy(da.Row(i), out.Grad.Row(i)[:ca])
+			}
+			a.accum(da)
+		}
+		if b.requiresGrad {
+			db := tensor.New(n, cb)
+			for i := 0; i < n; i++ {
+				copy(db.Row(i), out.Grad.Row(i)[ca:])
+			}
+			b.accum(db)
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package cloudsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPowerModelDraw(t *testing.T) {
+	p := PowerModel{IdleWatts: 100, PeakWatts: 300}
+	if p.draw(0.5, false) != 0 {
+		t.Fatal("scaled-to-zero VM should draw nothing")
+	}
+	if p.draw(0, true) != 100 {
+		t.Fatal("busy idle-util VM should draw idle watts")
+	}
+	if p.draw(1, true) != 300 {
+		t.Fatal("fully utilized VM should draw peak watts")
+	}
+	if p.draw(0.5, true) != 200 {
+		t.Fatal("linear interpolation wrong")
+	}
+}
+
+func TestObjectiveWeightsNormalization(t *testing.T) {
+	w := ObjectiveWeights{}.normalized(0.7)
+	if w.Response != 0.7 || math.Abs(w.LoadBalance-0.3) > 1e-12 || w.Energy != 0 || w.Cost != 0 {
+		t.Fatalf("zero weights should fall back to rho: %+v", w)
+	}
+	w = ObjectiveWeights{Response: 2, LoadBalance: 1, Energy: 1, Cost: 0}.normalized(0.5)
+	if math.Abs(w.Response-0.5) > 1e-12 || math.Abs(w.Energy-0.25) > 1e-12 {
+		t.Fatalf("normalization wrong: %+v", w)
+	}
+}
+
+func TestEnergyAccountingIntegratesOverTime(t *testing.T) {
+	cfg := DefaultConfig([]VMSpec{{CPU: 2, Mem: 8}})
+	tasks := []workload.Task{{ID: 0, Arrival: 0, CPU: 2, Mem: 4, Duration: 3}}
+	env := MustNewEnv(cfg, tasks)
+	env.Step(0) // place; VM fully utilized for 3 slots
+	env.Drain()
+	m := env.Metrics()
+	// Slots 1,2,3 are accumulated by advanceTime with the task running at
+	// full CPU (progress checks happen after completion sweep, so the slot
+	// where it finishes counts as idle). Exact accounting: slots 1 and 2
+	// busy at peak, slot 3 the task has finished.
+	want := 2 * cfg.Power.PeakWatts
+	if math.Abs(m.EnergyWattSlots-want) > 1e-9 {
+		t.Fatalf("energy %v, want %v", m.EnergyWattSlots, want)
+	}
+	if m.Cost <= 0 {
+		t.Fatal("busy VM should accrue cost")
+	}
+}
+
+func TestIdleClusterDrawsNothing(t *testing.T) {
+	cfg := DefaultConfig([]VMSpec{{CPU: 4, Mem: 16}, {CPU: 8, Mem: 32}})
+	env := MustNewEnv(cfg, []workload.Task{{ID: 0, Arrival: 5, CPU: 1, Mem: 1, Duration: 1}})
+	for i := 0; i < 4; i++ {
+		env.Step(env.WaitAction())
+	}
+	m := env.Metrics()
+	if m.EnergyWattSlots != 0 || m.Cost != 0 {
+		t.Fatalf("idle cluster drew energy %v cost %v", m.EnergyWattSlots, m.Cost)
+	}
+}
+
+func TestEnergyRewardPrefersConsolidation(t *testing.T) {
+	// Load balancing is zero-weighted here to isolate the energy term
+	// (spreading naturally wins the balance term, consolidation the
+	// energy term — the weights decide the trade).
+	cfg := DefaultConfig([]VMSpec{{CPU: 8, Mem: 32}, {CPU: 8, Mem: 32}})
+	cfg.Objectives = ObjectiveWeights{Response: 1, LoadBalance: 0, Energy: 2, Cost: 0}
+	tasks := []workload.Task{
+		{ID: 0, Arrival: 0, CPU: 2, Mem: 4, Duration: 5},
+		{ID: 1, Arrival: 0, CPU: 2, Mem: 4, Duration: 5},
+	}
+	// Consolidating run: both tasks on VM 0.
+	env1 := MustNewEnv(cfg, tasks)
+	env1.Step(0)
+	rConsolidate := env1.Step(0)
+	// Spreading run: second task wakes VM 1.
+	env2 := MustNewEnv(cfg, tasks)
+	env2.Step(0)
+	rSpread := env2.Step(1)
+	if rConsolidate <= rSpread {
+		t.Fatalf("energy objective should reward consolidation: %v vs %v", rConsolidate, rSpread)
+	}
+}
+
+func TestCostRewardPrefersBusyAndCheapVMs(t *testing.T) {
+	cfg := DefaultConfig([]VMSpec{{CPU: 2, Mem: 8}, {CPU: 32, Mem: 256}})
+	cfg.Objectives = ObjectiveWeights{Response: 1, LoadBalance: 0, Energy: 0, Cost: 3}
+	tasks := []workload.Task{
+		{ID: 0, Arrival: 0, CPU: 1, Mem: 1, Duration: 5},
+		{ID: 1, Arrival: 0, CPU: 1, Mem: 1, Duration: 5},
+	}
+	// Waking the big expensive VM should earn less than reusing the busy one.
+	env1 := MustNewEnv(cfg, tasks)
+	env1.Step(0)
+	rReuse := env1.Step(0)
+	env2 := MustNewEnv(cfg, tasks)
+	env2.Step(0)
+	rWakeBig := env2.Step(1)
+	if rReuse <= rWakeBig {
+		t.Fatalf("cost objective should reward reuse: %v vs %v", rReuse, rWakeBig)
+	}
+}
+
+func TestExplicitPricesValidatedAndUsed(t *testing.T) {
+	cfg := DefaultConfig([]VMSpec{{CPU: 2, Mem: 8}, {CPU: 2, Mem: 8}})
+	cfg.Prices = []float64{1} // wrong length
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected price length error")
+	}
+	cfg.Prices = []float64{1, 10}
+	env := MustNewEnv(cfg, []workload.Task{{ID: 0, Arrival: 0, CPU: 1, Mem: 1, Duration: 2}})
+	env.Step(1) // run on the expensive VM
+	env.Drain()
+	costExpensive := env.Metrics().Cost
+	env2 := MustNewEnv(cfg, []workload.Task{{ID: 0, Arrival: 0, CPU: 1, Mem: 1, Duration: 2}})
+	env2.Step(0)
+	env2.Drain()
+	costCheap := env2.Metrics().Cost
+	if costExpensive <= costCheap {
+		t.Fatalf("explicit prices ignored: %v vs %v", costExpensive, costCheap)
+	}
+}
+
+func TestDefaultRewardUnchangedByEnergyCode(t *testing.T) {
+	// With zero Objectives the reward must match the paper's two-term form
+	// exactly — the extension is strictly opt-in.
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultConfig([]VMSpec{{CPU: 8, Mem: 64}, {CPU: 16, Mem: 128}})
+	tasks := ClampTasks(workload.SampleDataset(workload.Google, rng, 40), cfg.VMs)
+	env := MustNewEnv(cfg, tasks)
+	p := FirstFit{}
+	for !env.Done() {
+		a := p.SelectAction(env)
+		r := env.Step(a)
+		if a != env.WaitAction() {
+			want := cfg.Rho*env.lastRespReward + (1-cfg.Rho)*env.lastLoadReward
+			if math.Abs(r-want) > 1e-12 {
+				t.Fatalf("default reward diverged: %v vs %v", r, want)
+			}
+		}
+	}
+}
+
+func TestEnergyAwareTrainingEnvelope(t *testing.T) {
+	// End to end: a consolidating policy (first-fit) must cost less energy
+	// than a spreading policy (worst-fit) under the power model.
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultConfig([]VMSpec{{CPU: 8, Mem: 64}, {CPU: 8, Mem: 64}, {CPU: 8, Mem: 64}})
+	tasks := ClampTasks(workload.SampleDataset(workload.Google, rng, 100), cfg.VMs)
+	ff := RunEpisode(MustNewEnv(cfg, tasks), FirstFit{})
+	wf := RunEpisode(MustNewEnv(cfg, tasks), WorstFit{})
+	if ff.EnergyWattSlots >= wf.EnergyWattSlots {
+		t.Fatalf("first-fit energy %v should beat worst-fit %v", ff.EnergyWattSlots, wf.EnergyWattSlots)
+	}
+}

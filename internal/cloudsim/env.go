@@ -1,0 +1,459 @@
+package cloudsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/workload"
+)
+
+// NumResources is d in the paper: the number of resource dimensions
+// (vCPU and memory).
+const NumResources = 2
+
+// Config parameterizes an Env. PadVMs / PadVCPUs are the federation-wide
+// caps L and U^vcpu: every client's observation is padded to these sizes so
+// all agents share network shapes (§4.1, "void" positions in Fig. 6).
+type Config struct {
+	VMs []VMSpec
+
+	// Observation padding and normalization (federation-wide constants).
+	PadVMs     int     // L: observation covers this many VM slots
+	PadVCPUs   int     // U^vcpu: per-VM vCPU slots in the observation
+	MaxCPU     int     // U^vcpu normalization cap for requests/capacities
+	MaxMem     float64 // U^mem normalization cap in GiB
+	QueueDepth int     // Q: queued tasks visible in the observation
+
+	// Reward shaping.
+	Rho             float64               // ρ in Eq. (6); weight of the response reward
+	ResourceWeights [NumResources]float64 // w_i in Eqs. (4), (9), (24)
+	LazyPenalty     float64               // negative constant for waiting despite a feasible VM
+
+	// Extended objectives (§4.2's "easily extended" reward). A zero-value
+	// Objectives reproduces the paper's two-term reward from Rho.
+	Objectives ObjectiveWeights
+	// Power models VM energy draw for the energy objective and metrics.
+	Power PowerModel
+	// Prices optionally gives per-VM per-slot prices (len must equal
+	// len(VMs)); when empty, prices are derived from capacity.
+	Prices []float64
+
+	// MaxSteps caps an episode (0 means a generous default of
+	// 50·len(tasks)+1000 steps).
+	MaxSteps int
+}
+
+// DefaultConfig returns the configuration used throughout the experiments:
+// ρ = 0.5, equal resource weights, lazy penalty −8 (slightly worse than the
+// worst invalid-placement penalty −e^Σw·util ≥ −e).
+func DefaultConfig(vms []VMSpec) Config {
+	return Config{
+		VMs:             vms,
+		PadVMs:          len(vms),
+		PadVCPUs:        maxVCPU(vms),
+		MaxCPU:          maxVCPU(vms),
+		MaxMem:          maxMem(vms),
+		QueueDepth:      5,
+		Rho:             0.5,
+		ResourceWeights: [NumResources]float64{0.5, 0.5},
+		LazyPenalty:     -8,
+		Power:           DefaultPowerModel(),
+	}
+}
+
+func maxVCPU(vms []VMSpec) int {
+	m := 1
+	for _, v := range vms {
+		if v.CPU > m {
+			m = v.CPU
+		}
+	}
+	return m
+}
+
+func maxMem(vms []VMSpec) float64 {
+	m := 1.0
+	for _, v := range vms {
+		if v.Mem > m {
+			m = v.Mem
+		}
+	}
+	return m
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case len(c.VMs) == 0:
+		return fmt.Errorf("cloudsim: no VMs")
+	case c.PadVMs < len(c.VMs):
+		return fmt.Errorf("cloudsim: PadVMs %d < actual VMs %d", c.PadVMs, len(c.VMs))
+	case c.QueueDepth < 1:
+		return fmt.Errorf("cloudsim: QueueDepth must be >= 1")
+	case c.Rho < 0 || c.Rho > 1:
+		return fmt.Errorf("cloudsim: Rho must be in [0,1]")
+	case c.MaxCPU < 1 || c.MaxMem <= 0:
+		return fmt.Errorf("cloudsim: invalid normalization caps")
+	case len(c.Prices) > 0 && len(c.Prices) != len(c.VMs):
+		return fmt.Errorf("cloudsim: %d prices for %d VMs", len(c.Prices), len(c.VMs))
+	}
+	for _, v := range c.VMs {
+		if v.CPU < 1 || v.Mem <= 0 {
+			return fmt.Errorf("cloudsim: invalid VM spec %+v", v)
+		}
+		if v.CPU > c.PadVCPUs {
+			return fmt.Errorf("cloudsim: VM has %d vCPUs > PadVCPUs %d", v.CPU, c.PadVCPUs)
+		}
+	}
+	return nil
+}
+
+// TaskRecord is the outcome of one completed task.
+type TaskRecord struct {
+	Task   workload.Task
+	Start  int // slot the task was placed
+	Finish int // slot the task completed
+}
+
+// Wait returns the task's queueing delay j^wait.
+func (r TaskRecord) Wait() int { return r.Start - r.Task.Arrival }
+
+// Response returns j^res = j^wait + j^run (Eq. 3).
+func (r TaskRecord) Response() int { return r.Finish - r.Task.Arrival }
+
+// Env is one client's scheduling environment. It is deterministic: all
+// stochasticity lives in the workload sampling and the agent's policy.
+// An Env is not safe for concurrent use.
+type Env struct {
+	cfg  Config
+	vms  []*VM
+	now  int
+	step int
+
+	pending    []workload.Task // sorted by arrival, not yet arrived
+	queue      []workload.Task // waiting queue (FIFO)
+	completed  []TaskRecord
+	totalTasks int
+
+	// Time-integrated accumulators for Eqs. (24)–(25). Slot 0 counts.
+	utilSum    [NumResources]float64
+	loadBalSum float64
+	energySum  float64 // watt-slots across all VMs
+	costSum    float64 // price-slots across busy VMs
+	slots      int
+
+	// Last placement's component rewards (see placementReward).
+	lastRespReward float64
+	lastLoadReward float64
+}
+
+// NewEnv creates an environment and loads the given task set.
+func NewEnv(cfg Config, tasks []workload.Task) (*Env, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 50*len(tasks) + 1000
+	}
+	e := &Env{cfg: cfg}
+	e.Reset(tasks)
+	return e, nil
+}
+
+// MustNewEnv is NewEnv that panics on configuration errors (test helper).
+func MustNewEnv(cfg Config, tasks []workload.Task) *Env {
+	e, err := NewEnv(cfg, tasks)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Reset reinitializes the environment with a new task set, keeping the
+// configuration. Tasks must be sorted by arrival (workload generators
+// guarantee this).
+func (e *Env) Reset(tasks []workload.Task) {
+	e.vms = make([]*VM, len(e.cfg.VMs))
+	for i, spec := range e.cfg.VMs {
+		e.vms[i] = newVM(spec)
+	}
+	e.now = 0
+	e.step = 0
+	e.pending = append([]workload.Task(nil), tasks...)
+	e.queue = nil
+	e.completed = e.completed[:0]
+	e.totalTasks = len(tasks)
+	e.utilSum = [NumResources]float64{}
+	e.loadBalSum = 0
+	e.energySum = 0
+	e.costSum = 0
+	e.slots = 0
+	e.admitArrivals()
+	e.accumulateSlotStats()
+}
+
+// Config returns the environment configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// Now returns the current time slot.
+func (e *Env) Now() int { return e.now }
+
+// QueueLen returns the number of waiting tasks.
+func (e *Env) QueueLen() int { return len(e.queue) }
+
+// PendingLen returns the number of tasks that have not yet arrived.
+func (e *Env) PendingLen() int { return len(e.pending) }
+
+// HeadTask returns the task at the head of the waiting queue.
+func (e *Env) HeadTask() (workload.Task, bool) {
+	if len(e.queue) == 0 {
+		return workload.Task{}, false
+	}
+	return e.queue[0], true
+}
+
+// VMs exposes the simulated machines (read-only use expected).
+func (e *Env) VMs() []*VM { return e.vms }
+
+// NumActions returns |A| = PadVMs + 1; the last action index is Wait.
+func (e *Env) NumActions() int { return e.cfg.PadVMs + 1 }
+
+// WaitAction returns the index encoding the paper's action −1 (do nothing).
+func (e *Env) WaitAction() int { return e.cfg.PadVMs }
+
+// Done reports whether the episode has ended: all tasks completed, or the
+// step cap was hit.
+func (e *Env) Done() bool {
+	return len(e.completed) == e.totalTasks || e.step >= e.cfg.MaxSteps
+}
+
+// FeasibleActions returns a mask over the action space: placements that fit
+// the head task, plus Wait (always allowed). With an empty queue only Wait
+// is feasible.
+func (e *Env) FeasibleActions() []bool {
+	mask := make([]bool, e.NumActions())
+	mask[e.WaitAction()] = true
+	head, ok := e.HeadTask()
+	if !ok {
+		return mask
+	}
+	for i, vm := range e.vms {
+		mask[i] = vm.Fits(head)
+	}
+	return mask
+}
+
+// anyFeasiblePlacement reports whether some real VM fits the head task.
+func (e *Env) anyFeasiblePlacement() bool {
+	head, ok := e.HeadTask()
+	if !ok {
+		return false
+	}
+	for _, vm := range e.vms {
+		if vm.Fits(head) {
+			return true
+		}
+	}
+	return false
+}
+
+// Step executes one action and returns the reward. Semantics (§4.2):
+//
+//   - Valid placement: the head task starts on the chosen VM now; reward
+//     Eq. (6); time does NOT advance, so the agent may keep scheduling
+//     within the slot.
+//   - Invalid placement (VM index ≥ len(VMs), a padded "void" VM, or
+//     insufficient free resources): reward Eq. (9); the task stays queued
+//     and time advances one slot.
+//   - Wait with a feasible VM available: the lazy penalty; time advances.
+//   - Wait with no feasible placement (or empty queue): reward 0; time
+//     advances.
+//
+// Step panics if called after Done or with an out-of-range action.
+func (e *Env) Step(action int) float64 {
+	if e.Done() {
+		panic("cloudsim: Step after episode end")
+	}
+	if action < 0 || action >= e.NumActions() {
+		panic(fmt.Sprintf("cloudsim: action %d out of range [0,%d)", action, e.NumActions()))
+	}
+	e.step++
+
+	head, hasHead := e.HeadTask()
+	if action == e.WaitAction() || !hasHead {
+		reward := 0.0
+		if hasHead && e.anyFeasiblePlacement() {
+			reward = e.cfg.LazyPenalty
+		}
+		e.advanceTime()
+		return reward
+	}
+
+	if action >= len(e.vms) || !e.vms[action].Fits(head) {
+		// Invalid: denied and penalized by the target VM's utilization
+		// (Eq. 9). Void VM slots count as fully utilized.
+		reward := e.invalidPenalty(action)
+		e.advanceTime()
+		return reward
+	}
+
+	// Valid placement.
+	vm := e.vms[action]
+	before := e.loadBalance()
+	wasBusy := vm.RunningTasks() > 0
+	utilBefore := vm.utilization(0)
+	vm.place(head, e.now)
+	e.queue = e.queue[1:]
+	after := e.loadBalance()
+	utilAfter := vm.utilization(0)
+	// The record's Finish is known at placement time because the simulator
+	// is deterministic (fixed durations, no preemption).
+	e.completed = append(e.completed, TaskRecord{
+		Task:   head,
+		Start:  e.now,
+		Finish: e.now + head.Duration,
+	})
+	base := e.placementReward(head, before, after)
+	w := e.cfg.Objectives.normalized(e.cfg.Rho)
+	if w.Energy == 0 && w.Cost == 0 {
+		return base
+	}
+	// Extended objective mix: rescale the two paper terms into the
+	// normalized weight vector and add the energy/cost terms.
+	respTerm, loadTerm := e.lastRespReward, e.lastLoadReward
+	return w.Response*respTerm + w.LoadBalance*loadTerm +
+		w.Energy*e.energyReward(vm, wasBusy, utilBefore, utilAfter) +
+		w.Cost*e.costReward(action, wasBusy)
+}
+
+// invalidPenalty implements Eq. (9): −e^{Σ_i w_i·util_i} for the denied VM.
+func (e *Env) invalidPenalty(action int) float64 {
+	s := 0.0
+	if action < len(e.vms) {
+		for i := 0; i < NumResources; i++ {
+			s += e.cfg.ResourceWeights[i] * e.vms[action].utilization(i)
+		}
+	} else {
+		// Padded void VM: treat as fully utilized.
+		for i := 0; i < NumResources; i++ {
+			s += e.cfg.ResourceWeights[i]
+		}
+	}
+	return -math.Exp(s)
+}
+
+// placementReward implements Eqs. (6)–(8). The two component terms are
+// retained in lastRespReward / lastLoadReward so the extended-objective mix
+// can reuse them without recomputation.
+func (e *Env) placementReward(t workload.Task, loadBefore, loadAfter float64) float64 {
+	wait := float64(e.now - t.Arrival)
+	run := float64(t.Duration)
+	res := wait + run
+	// Eq. (7): R_res = e^{j_run/j_res} ∈ (1, e]; rescale to (0,1] so the two
+	// reward terms share a scale (the paper normalizes by j_run; dividing by
+	// e keeps the same ordering and bounds the sum by 1).
+	rRes := math.Exp(run/res) / math.E
+
+	// Eq. (8) as printed: Load_c = LoadBal(t') − LoadBal(t); reward 1 when
+	// the placement improves (or preserves) balance, else the raw Load_c
+	// (a small positive number well below 1, so worsening placements earn
+	// strictly less than improving ones).
+	loadC := loadAfter - loadBefore
+	rLoad := 1.0
+	if loadC > 0 {
+		rLoad = loadC
+	}
+	e.lastRespReward, e.lastLoadReward = rRes, rLoad
+	return e.cfg.Rho*rRes + (1-e.cfg.Rho)*rLoad
+}
+
+// loadBalance implements Eq. (4): the weighted std-dev of per-VM remaining
+// fractions across resources. Lower is more balanced.
+func (e *Env) loadBalance() float64 {
+	n := float64(len(e.vms))
+	total := 0.0
+	for i := 0; i < NumResources; i++ {
+		avg := 0.0
+		for _, vm := range e.vms {
+			avg += vm.remainingFraction(i)
+		}
+		avg /= n
+		variance := 0.0
+		for _, vm := range e.vms {
+			d := vm.remainingFraction(i) - avg
+			variance += d * d
+		}
+		total += e.cfg.ResourceWeights[i] * math.Sqrt(variance/n)
+	}
+	return total
+}
+
+// LoadBalance exposes Eq. (4) for metrics and tests.
+func (e *Env) LoadBalance() float64 { return e.loadBalance() }
+
+// advanceTime moves the clock one slot: running tasks progress and finish,
+// new arrivals join the queue, and the per-slot metric accumulators update.
+func (e *Env) advanceTime() {
+	e.now++
+	for _, vm := range e.vms {
+		vm.collectFinished(e.now)
+	}
+	e.admitArrivals()
+	e.accumulateSlotStats()
+}
+
+func (e *Env) admitArrivals() {
+	for len(e.pending) > 0 && e.pending[0].Arrival <= e.now {
+		e.queue = append(e.queue, e.pending[0])
+		e.pending = e.pending[1:]
+	}
+}
+
+func (e *Env) accumulateSlotStats() {
+	for i := 0; i < NumResources; i++ {
+		s := 0.0
+		for _, vm := range e.vms {
+			s += vm.utilization(i)
+		}
+		e.utilSum[i] += s / float64(len(e.vms))
+	}
+	e.loadBalSum += e.loadBalance()
+	for i, vm := range e.vms {
+		busy := vm.RunningTasks() > 0
+		e.energySum += e.cfg.Power.draw(vm.utilization(0), busy)
+		if busy {
+			e.costSum += e.vmPrice(i)
+		}
+	}
+	e.slots++
+}
+
+// Inject appends a task to the waiting queue with arrival time = Now. It
+// supports dynamic task sources — notably workflow DAGs, where a stage
+// becomes schedulable only when its dependencies complete (the paper's
+// stated future work). Injection also increments the episode's expected
+// task count unless ExpectTotal pre-announced it.
+func (e *Env) Inject(t workload.Task) {
+	if t.Arrival < e.now {
+		t.Arrival = e.now
+	}
+	e.queue = append(e.queue, t)
+	// Keep Done meaningful: the expected count must cover every task the
+	// environment knows about. ExpectTotal may already have reserved
+	// headroom for this injection.
+	if known := len(e.queue) + len(e.pending) + len(e.completed); e.totalTasks < known {
+		e.totalTasks = known
+	}
+}
+
+// ExpectTotal declares the episode's true task count up front, so Done
+// stays false while future injections are still outstanding (e.g. workflow
+// stages whose dependencies have not completed yet). n must be at least
+// the number of tasks currently known to the environment.
+func (e *Env) ExpectTotal(n int) {
+	known := len(e.queue) + len(e.pending) + len(e.completed)
+	if n < known {
+		panic(fmt.Sprintf("cloudsim: ExpectTotal(%d) below known task count %d", n, known))
+	}
+	e.totalTasks = n
+}

@@ -1,0 +1,55 @@
+package cloudsim
+
+import "repro/internal/workload"
+
+// ClampTasks returns a copy of tasks in which every task fits at least one
+// VM in vms. Without this, a task larger than every VM would block the FIFO
+// queue head forever and the episode could only end at the step cap. The
+// paper sets VM capacities "referring to the machine specifications defined
+// by the cloud workloads" (§5.1), which implies the same compatibility; we
+// enforce it explicitly.
+//
+// A task that already fits some VM is returned unchanged. Otherwise it is
+// clamped to the single VM that preserves the largest fraction of the
+// original request (both dimensions are clamped against that one VM, so the
+// result is guaranteed feasible).
+func ClampTasks(tasks []workload.Task, vms []VMSpec) []workload.Task {
+	out := append([]workload.Task(nil), tasks...)
+	for i := range out {
+		t := &out[i]
+		if fitsAny(*t, vms) {
+			continue
+		}
+		best, bestScore := 0, -1.0
+		for j, v := range vms {
+			cpuFrac := 1.0
+			if t.CPU > v.CPU {
+				cpuFrac = float64(v.CPU) / float64(t.CPU)
+			}
+			memFrac := 1.0
+			if t.Mem > v.Mem {
+				memFrac = v.Mem / t.Mem
+			}
+			if score := cpuFrac * memFrac; score > bestScore {
+				best, bestScore = j, score
+			}
+		}
+		v := vms[best]
+		if t.CPU > v.CPU {
+			t.CPU = v.CPU
+		}
+		if t.Mem > v.Mem {
+			t.Mem = v.Mem
+		}
+	}
+	return out
+}
+
+func fitsAny(t workload.Task, vms []VMSpec) bool {
+	for _, v := range vms {
+		if t.CPU <= v.CPU && t.Mem <= v.Mem {
+			return true
+		}
+	}
+	return false
+}

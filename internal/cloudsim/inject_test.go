@@ -1,0 +1,83 @@
+package cloudsim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestInjectAddsToQueueAndTotal(t *testing.T) {
+	cfg := DefaultConfig([]VMSpec{{CPU: 4, Mem: 16}})
+	env := MustNewEnv(cfg, nil)
+	if !env.Done() {
+		t.Fatal("empty env should start done")
+	}
+	env.Inject(workload.Task{ID: 0, Arrival: 0, CPU: 1, Mem: 1, Duration: 1})
+	if env.Done() {
+		t.Fatal("injection should reopen the episode")
+	}
+	if env.QueueLen() != 1 {
+		t.Fatalf("queue %d", env.QueueLen())
+	}
+	env.Step(0)
+	if !env.Done() {
+		t.Fatal("placing the injected task should finish the episode")
+	}
+}
+
+func TestInjectBackdatedArrivalClamped(t *testing.T) {
+	cfg := DefaultConfig([]VMSpec{{CPU: 4, Mem: 16}})
+	env := MustNewEnv(cfg, []workload.Task{{ID: 0, Arrival: 0, CPU: 1, Mem: 1, Duration: 1}})
+	env.Step(env.WaitAction()) // now = 1
+	env.Inject(workload.Task{ID: 1, Arrival: 0, CPU: 1, Mem: 1, Duration: 1})
+	// The injected task's wait time must not be negative.
+	env.Step(0)
+	env.Step(0)
+	for _, r := range env.Records() {
+		if r.Wait() < 0 {
+			t.Fatalf("negative wait for injected task: %+v", r)
+		}
+	}
+}
+
+func TestExpectTotalKeepsEpisodeOpen(t *testing.T) {
+	cfg := DefaultConfig([]VMSpec{{CPU: 4, Mem: 16}})
+	env := MustNewEnv(cfg, []workload.Task{{ID: 0, Arrival: 0, CPU: 1, Mem: 1, Duration: 1}})
+	env.ExpectTotal(2)
+	env.Step(0)
+	if env.Done() {
+		t.Fatal("episode must stay open until the announced total is placed")
+	}
+	env.Inject(workload.Task{ID: 1, Arrival: 0, CPU: 1, Mem: 1, Duration: 1})
+	env.Step(0)
+	if !env.Done() {
+		t.Fatal("episode should end once the announced total completes")
+	}
+}
+
+func TestExpectTotalBelowKnownPanics(t *testing.T) {
+	cfg := DefaultConfig([]VMSpec{{CPU: 4, Mem: 16}})
+	env := MustNewEnv(cfg, []workload.Task{
+		{ID: 0, Arrival: 0, CPU: 1, Mem: 1, Duration: 1},
+		{ID: 1, Arrival: 0, CPU: 1, Mem: 1, Duration: 1},
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	env.ExpectTotal(1)
+}
+
+func TestInjectUnderExpectTotalDoesNotInflate(t *testing.T) {
+	cfg := DefaultConfig([]VMSpec{{CPU: 4, Mem: 16}})
+	env := MustNewEnv(cfg, nil)
+	env.ExpectTotal(2)
+	env.Inject(workload.Task{ID: 0, Arrival: 0, CPU: 1, Mem: 1, Duration: 1})
+	env.Inject(workload.Task{ID: 1, Arrival: 0, CPU: 1, Mem: 1, Duration: 1})
+	env.Step(0)
+	env.Step(0)
+	if !env.Done() {
+		t.Fatal("ExpectTotal headroom should be consumed by injections, not added to")
+	}
+}

@@ -1,0 +1,67 @@
+package cloudsim
+
+// Metrics are the four evaluation measures of §5.1.
+type Metrics struct {
+	// AvgResponse is Eq. (23): mean of j^res over completed tasks, in slots.
+	AvgResponse float64
+	// Makespan is the completion slot of the last task.
+	Makespan int
+	// AvgUtil is Eq. (24): the time-averaged, resource-weighted mean VM
+	// utilization, in [0,1].
+	AvgUtil float64
+	// AvgLoadBal is Eq. (25): the time-averaged Eq. (4) imbalance
+	// (lower is better).
+	AvgLoadBal float64
+	// Completed and Total report scheduling coverage; Completed < Total
+	// means the episode hit its step cap with tasks still queued.
+	Completed int
+	Total     int
+	// Steps is the number of agent decisions taken.
+	Steps int
+	// EnergyWattSlots is the time-integrated power draw across VMs (the
+	// extended energy objective; watt·slots).
+	EnergyWattSlots float64
+	// Cost is the accumulated per-slot billing of busy VMs (the extended
+	// cost objective; price·slots).
+	Cost float64
+}
+
+// Drain advances time until every placed task has finished executing, so
+// the time-integrated metrics cover the full schedule. It does not place
+// any queued tasks. Call after the decision loop ends.
+func (e *Env) Drain() {
+	for _, vm := range e.vms {
+		for vm.RunningTasks() > 0 {
+			e.advanceTime()
+		}
+	}
+}
+
+// Metrics summarizes the episode so far.
+func (e *Env) Metrics() Metrics {
+	m := Metrics{Completed: len(e.completed), Total: e.totalTasks, Steps: e.step}
+	if len(e.completed) > 0 {
+		sum := 0.0
+		for _, r := range e.completed {
+			sum += float64(r.Response())
+			if r.Finish > m.Makespan {
+				m.Makespan = r.Finish
+			}
+		}
+		m.AvgResponse = sum / float64(len(e.completed))
+	}
+	if e.slots > 0 {
+		util := 0.0
+		for i := 0; i < NumResources; i++ {
+			util += e.cfg.ResourceWeights[i] * e.utilSum[i]
+		}
+		m.AvgUtil = util / float64(e.slots)
+		m.AvgLoadBal = e.loadBalSum / float64(e.slots)
+	}
+	m.EnergyWattSlots = e.energySum
+	m.Cost = e.costSum
+	return m
+}
+
+// Records returns the completion records accumulated so far.
+func (e *Env) Records() []TaskRecord { return e.completed }

@@ -1,0 +1,157 @@
+package cloudsim
+
+import "math/rand"
+
+// Policy selects the next action given the environment. Heuristic policies
+// here are used as sanity baselines and in the examples; the RL agents in
+// internal/rl implement the same contract through their own rollout loops.
+type Policy interface {
+	// SelectAction returns an action index in [0, env.NumActions()).
+	SelectAction(env *Env) int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// FirstFit places the head task on the lowest-indexed VM that fits it,
+// waiting when none does.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// SelectAction implements Policy.
+func (FirstFit) SelectAction(env *Env) int {
+	head, ok := env.HeadTask()
+	if !ok {
+		return env.WaitAction()
+	}
+	for i, vm := range env.VMs() {
+		if vm.Fits(head) {
+			return i
+		}
+	}
+	return env.WaitAction()
+}
+
+// BestFit places the head task on the fitting VM with the least leftover
+// weighted capacity after placement (tightest fit), waiting when none fits.
+type BestFit struct{}
+
+// Name implements Policy.
+func (BestFit) Name() string { return "best-fit" }
+
+// SelectAction implements Policy.
+func (BestFit) SelectAction(env *Env) int {
+	head, ok := env.HeadTask()
+	if !ok {
+		return env.WaitAction()
+	}
+	cfg := env.Config()
+	best, bestScore := -1, 0.0
+	for i, vm := range env.VMs() {
+		if !vm.Fits(head) {
+			continue
+		}
+		leftCPU := float64(vm.FreeCPU()-head.CPU) / float64(cfg.MaxCPU)
+		leftMem := (vm.FreeMem() - head.Mem) / cfg.MaxMem
+		score := cfg.ResourceWeights[0]*leftCPU + cfg.ResourceWeights[1]*leftMem
+		if best == -1 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best == -1 {
+		return env.WaitAction()
+	}
+	return best
+}
+
+// WorstFit places the head task on the fitting VM with the most leftover
+// capacity (spreads load), waiting when none fits.
+type WorstFit struct{}
+
+// Name implements Policy.
+func (WorstFit) Name() string { return "worst-fit" }
+
+// SelectAction implements Policy.
+func (WorstFit) SelectAction(env *Env) int {
+	head, ok := env.HeadTask()
+	if !ok {
+		return env.WaitAction()
+	}
+	cfg := env.Config()
+	best, bestScore := -1, 0.0
+	for i, vm := range env.VMs() {
+		if !vm.Fits(head) {
+			continue
+		}
+		leftCPU := float64(vm.FreeCPU()-head.CPU) / float64(cfg.MaxCPU)
+		leftMem := (vm.FreeMem() - head.Mem) / cfg.MaxMem
+		score := cfg.ResourceWeights[0]*leftCPU + cfg.ResourceWeights[1]*leftMem
+		if best == -1 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best == -1 {
+		return env.WaitAction()
+	}
+	return best
+}
+
+// RandomFit places the head task on a uniformly random fitting VM,
+// waiting when none fits.
+type RandomFit struct{ Rng *rand.Rand }
+
+// Name implements Policy.
+func (RandomFit) Name() string { return "random-fit" }
+
+// SelectAction implements Policy.
+func (p RandomFit) SelectAction(env *Env) int {
+	head, ok := env.HeadTask()
+	if !ok {
+		return env.WaitAction()
+	}
+	var fits []int
+	for i, vm := range env.VMs() {
+		if vm.Fits(head) {
+			fits = append(fits, i)
+		}
+	}
+	if len(fits) == 0 {
+		return env.WaitAction()
+	}
+	return fits[p.Rng.Intn(len(fits))]
+}
+
+// RoundRobin cycles placement across VMs, skipping to the next fitting VM;
+// it waits when nothing fits.
+type RoundRobin struct{ next int }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// SelectAction implements Policy.
+func (p *RoundRobin) SelectAction(env *Env) int {
+	head, ok := env.HeadTask()
+	if !ok {
+		return env.WaitAction()
+	}
+	n := len(env.VMs())
+	for k := 0; k < n; k++ {
+		i := (p.next + k) % n
+		if env.VMs()[i].Fits(head) {
+			p.next = (i + 1) % n
+			return i
+		}
+	}
+	return env.WaitAction()
+}
+
+// RunEpisode drives env with policy until the episode ends, drains running
+// tasks, and returns the final metrics.
+func RunEpisode(env *Env, policy Policy) Metrics {
+	for !env.Done() {
+		env.Step(policy.SelectAction(env))
+	}
+	env.Drain()
+	return env.Metrics()
+}

@@ -1,0 +1,74 @@
+package cloudsim
+
+// VoidMarker fills observation positions that do not exist in this client's
+// cluster (padded VM slots, padded vCPU slots, empty queue slots) — the
+// "void" positions of Fig. 6. Using −1 keeps voids distinguishable from
+// idle-but-present resources (which encode as 0).
+const VoidMarker = -1.0
+
+// StateDim returns the observation length for a configuration:
+//
+//	L·d  (remaining capacity per VM slot)
+//	L·U  (per-vCPU completion progress)
+//	Q·d  (requested resources of the first Q queued tasks)
+func StateDim(cfg Config) int {
+	return cfg.PadVMs*NumResources + cfg.PadVMs*cfg.PadVCPUs + cfg.QueueDepth*NumResources
+}
+
+// StateDim returns the environment's observation length.
+func (e *Env) StateDim() int { return StateDim(e.cfg) }
+
+// Observe encodes the current state S = (S^VM, S^vCPU, S^Queue) into dst,
+// allocating when dst is too small, and returns the buffer. Layout:
+//
+//	[0, L·d)            per-VM remaining CPU and memory, normalized by the
+//	                    federation caps MaxCPU / MaxMem; void VMs = −1.
+//	[L·d, L·d+L·U)      per-vCPU completion progress in (0,1]; idle = 0,
+//	                    void (vCPU or VM beyond this cluster) = −1.
+//	[L·d+L·U, end)      first Q queued tasks' normalized (CPU, Mem)
+//	                    requests; empty queue slots = −1.
+func (e *Env) Observe(dst []float64) []float64 {
+	dim := e.StateDim()
+	if cap(dst) < dim {
+		dst = make([]float64, dim)
+	}
+	dst = dst[:dim]
+
+	cfg := e.cfg
+	off := 0
+	// S^VM: remaining capacities.
+	for i := 0; i < cfg.PadVMs; i++ {
+		if i < len(e.vms) {
+			dst[off] = float64(e.vms[i].freeCPU) / float64(cfg.MaxCPU)
+			dst[off+1] = e.vms[i].freeMem / cfg.MaxMem
+		} else {
+			dst[off] = VoidMarker
+			dst[off+1] = VoidMarker
+		}
+		off += NumResources
+	}
+	// S^vCPU: running-state progress.
+	for i := 0; i < cfg.PadVMs; i++ {
+		for k := 0; k < cfg.PadVCPUs; k++ {
+			switch {
+			case i >= len(e.vms) || k >= e.vms[i].Spec.CPU:
+				dst[off] = VoidMarker
+			default:
+				dst[off] = e.vms[i].progress(k, e.now)
+			}
+			off++
+		}
+	}
+	// S^Queue: requested resources of the visible queue prefix.
+	for q := 0; q < cfg.QueueDepth; q++ {
+		if q < len(e.queue) {
+			dst[off] = float64(e.queue[q].CPU) / float64(cfg.MaxCPU)
+			dst[off+1] = e.queue[q].Mem / cfg.MaxMem
+		} else {
+			dst[off] = VoidMarker
+			dst[off+1] = VoidMarker
+		}
+		off += NumResources
+	}
+	return dst
+}

@@ -1,0 +1,153 @@
+// Package cloudsim implements the paper's cloud task-scheduling environment
+// (§4.1–4.2): a discrete-time cluster of heterogeneous VMs, a FIFO waiting
+// queue fed by a workload trace, the three-part state encoding
+// (S^VM, S^vCPU, S^Queue), the composite reward (response time + load
+// balancing, with invalid-action and lazy-wait penalties), and the four
+// evaluation metrics (average response time, makespan, average utilization,
+// average load balancing). It also provides classic heuristic schedulers
+// (first-fit, best-fit, random, round-robin) as sanity baselines.
+package cloudsim
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// VMSpec describes a virtual machine's capacity: vCPU count and memory GiB.
+type VMSpec struct {
+	CPU int
+	Mem float64
+}
+
+// running is one task executing on a VM.
+type running struct {
+	task  workload.Task
+	start int // slot the task was placed
+	vcpus []int
+}
+
+// VM is a simulated virtual machine. The zero value is unusable; create VMs
+// through NewEnv.
+type VM struct {
+	Spec    VMSpec
+	freeCPU int
+	freeMem float64
+	// vcpuOwner[k] indexes into tasks for the task occupying vCPU k, or -1.
+	vcpuOwner []int
+	tasks     map[int]*running // keyed by task ID
+}
+
+func newVM(spec VMSpec) *VM {
+	owner := make([]int, spec.CPU)
+	for i := range owner {
+		owner[i] = -1
+	}
+	return &VM{
+		Spec:      spec,
+		freeCPU:   spec.CPU,
+		freeMem:   spec.Mem,
+		vcpuOwner: owner,
+		tasks:     make(map[int]*running),
+	}
+}
+
+// FreeCPU returns the currently unallocated vCPU count.
+func (v *VM) FreeCPU() int { return v.freeCPU }
+
+// FreeMem returns the currently unallocated memory in GiB.
+func (v *VM) FreeMem() float64 { return v.freeMem }
+
+// Fits reports whether the task's request fits in the VM's free resources.
+func (v *VM) Fits(t workload.Task) bool {
+	return t.CPU <= v.freeCPU && t.Mem <= v.freeMem
+}
+
+// place starts t on the VM at the given slot. The caller must have verified
+// Fits; place panics otherwise (an environment invariant violation).
+func (v *VM) place(t workload.Task, now int) {
+	if !v.Fits(t) {
+		panic(fmt.Sprintf("cloudsim: place on full VM (task %d needs %d/%.2f, free %d/%.2f)",
+			t.ID, t.CPU, t.Mem, v.freeCPU, v.freeMem))
+	}
+	r := &running{task: t, start: now}
+	assigned := 0
+	for k := range v.vcpuOwner {
+		if v.vcpuOwner[k] == -1 {
+			v.vcpuOwner[k] = t.ID
+			r.vcpus = append(r.vcpus, k)
+			assigned++
+			if assigned == t.CPU {
+				break
+			}
+		}
+	}
+	if assigned != t.CPU {
+		panic("cloudsim: free vCPU accounting out of sync")
+	}
+	v.freeCPU -= t.CPU
+	v.freeMem -= t.Mem
+	v.tasks[t.ID] = r
+}
+
+// collectFinished removes tasks whose duration has elapsed by slot now and
+// returns them. A task placed at slot s with duration d finishes when
+// now >= s+d.
+func (v *VM) collectFinished(now int) []*running {
+	var done []*running
+	for id, r := range v.tasks {
+		if now-r.start >= r.task.Duration {
+			done = append(done, r)
+			for _, k := range r.vcpus {
+				v.vcpuOwner[k] = -1
+			}
+			v.freeCPU += r.task.CPU
+			v.freeMem += r.task.Mem
+			delete(v.tasks, id)
+		}
+	}
+	return done
+}
+
+// utilization returns the used fraction of resource i (0 = CPU, 1 = memory).
+func (v *VM) utilization(resource int) float64 {
+	switch resource {
+	case 0:
+		if v.Spec.CPU == 0 {
+			return 0
+		}
+		return float64(v.Spec.CPU-v.freeCPU) / float64(v.Spec.CPU)
+	case 1:
+		if v.Spec.Mem == 0 {
+			return 0
+		}
+		return (v.Spec.Mem - v.freeMem) / v.Spec.Mem
+	default:
+		panic(fmt.Sprintf("cloudsim: unknown resource %d", resource))
+	}
+}
+
+// remainingFraction returns the free fraction of resource i — the "load"
+// m^load(t,i) of Eq. (4), defined in the paper as remaining/total.
+func (v *VM) remainingFraction(resource int) float64 {
+	return 1 - v.utilization(resource)
+}
+
+// progress returns the completion fraction of the task on vCPU k at slot
+// now, in (0,1], or 0 if the vCPU is idle. A task that just started counts
+// the current slot as in progress, so its progress is 1/duration.
+func (v *VM) progress(k, now int) float64 {
+	id := v.vcpuOwner[k]
+	if id == -1 {
+		return 0
+	}
+	r := v.tasks[id]
+	p := float64(now-r.start+1) / float64(r.task.Duration)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// RunningTasks returns the number of tasks currently executing.
+func (v *VM) RunningTasks() int { return len(v.tasks) }

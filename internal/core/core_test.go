@@ -1,0 +1,402 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cloudsim"
+	"repro/internal/fed"
+	"repro/internal/rl"
+	"repro/internal/workload"
+)
+
+// tinyConfig is the smallest configuration that exercises every code path:
+// 3 heterogeneous clients, 30 tasks, 4 episodes.
+func tinyConfig(seed int64) ExperimentConfig {
+	cfg := DefaultExperiment(seed)
+	cfg.Specs = ScaleSpecs(Table2Specs(), 4)[:3]
+	cfg.TasksPerClient = 30
+	cfg.Episodes = 4
+	cfg.CommEvery = 2
+	cfg.EpisodeStepCap = 150
+	cfg.Parallel = false
+	return cfg
+}
+
+func TestTableSpecs(t *testing.T) {
+	t2 := Table2Specs()
+	if len(t2) != 4 {
+		t.Fatalf("Table 2 has %d clients", len(t2))
+	}
+	if len(t2[0].VMs) != 5 { // (16,128,4)+(32,256,1)
+		t.Fatalf("Table 2 client 1 has %d VMs, want 5", len(t2[0].VMs))
+	}
+	t3 := Table3Specs()
+	if len(t3) != 10 {
+		t.Fatalf("Table 3 has %d clients", len(t3))
+	}
+	if len(t3[0].VMs) != 7 { // 1+4+2
+		t.Fatalf("Table 3 client 1 has %d VMs, want 7", len(t3[0].VMs))
+	}
+	// Every dataset appears exactly once in Table 3.
+	seen := map[workload.DatasetID]bool{}
+	for _, s := range t3 {
+		if seen[s.Dataset] {
+			t.Fatalf("dataset %v duplicated", s.Dataset)
+		}
+		seen[s.Dataset] = true
+	}
+	if len(seen) != 10 {
+		t.Fatal("Table 3 should cover all ten datasets")
+	}
+}
+
+func TestScaleSpecs(t *testing.T) {
+	specs := Table3Specs()
+	scaled := ScaleSpecs(specs, 4)
+	if scaled[0].VMs[0].CPU != 2 || scaled[0].VMs[0].Mem != 16 {
+		t.Fatalf("scaled VM %+v", scaled[0].VMs[0])
+	}
+	// Original untouched.
+	if specs[0].VMs[0].CPU != 8 {
+		t.Fatal("ScaleSpecs mutated input")
+	}
+	// Scale 1 is a deep copy.
+	copy1 := ScaleSpecs(specs, 1)
+	copy1[0].VMs[0].CPU = 999
+	if specs[0].VMs[0].CPU == 999 {
+		t.Fatal("scale-1 copy aliases input")
+	}
+	// Never below minimums.
+	tiny := ScaleSpecs([]ClientSpec{{VMs: []cloudsim.VMSpec{{CPU: 2, Mem: 1}}}}, 100)
+	if tiny[0].VMs[0].CPU < 1 || tiny[0].VMs[0].Mem < 0.5 {
+		t.Fatal("scaling floor violated")
+	}
+}
+
+func TestCapsUniformAcrossClients(t *testing.T) {
+	cfg := tinyConfig(1)
+	caps := CapsFor(cfg.Specs)
+	dims := map[int]bool{}
+	for _, s := range cfg.Specs {
+		envCfg := caps.EnvConfig(s)
+		if err := envCfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		dims[cloudsim.StateDim(envCfg)] = true
+	}
+	if len(dims) != 1 {
+		t.Fatalf("state dims differ across clients: %v", dims)
+	}
+}
+
+func TestSampleClientData(t *testing.T) {
+	cfg := tinyConfig(2)
+	data := SampleClientData(cfg)
+	if len(data) != len(cfg.Specs) {
+		t.Fatal("wrong client count")
+	}
+	for _, d := range data {
+		if len(d.Train)+len(d.Test) != cfg.TasksPerClient {
+			t.Fatalf("%s: %d train + %d test != %d", d.Spec.Name, len(d.Train), len(d.Test), cfg.TasksPerClient)
+		}
+		for _, task := range append(append([]workload.Task{}, d.Train...), d.Test...) {
+			fits := false
+			for _, vm := range d.Spec.VMs {
+				if task.CPU <= vm.CPU && task.Mem <= vm.Mem {
+					fits = true
+					break
+				}
+			}
+			if !fits {
+				t.Fatalf("%s: task %+v fits no VM", d.Spec.Name, task)
+			}
+		}
+	}
+	// Deterministic for a seed.
+	again := SampleClientData(cfg)
+	if again[0].Train[0] != data[0].Train[0] {
+		t.Fatal("sampling not deterministic")
+	}
+}
+
+func TestTrainAllAlgorithms(t *testing.T) {
+	for _, alg := range AllAlgorithms() {
+		cfg := tinyConfig(3)
+		r, err := Train(alg, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(r.MeanCurve) != cfg.Episodes {
+			t.Fatalf("%v: curve length %d, want %d", alg, len(r.MeanCurve), cfg.Episodes)
+		}
+		if alg == AlgPPO {
+			if r.Federation != nil {
+				t.Fatal("independent PPO should have no federation")
+			}
+		} else if r.Federation == nil {
+			t.Fatalf("%v: federation missing", alg)
+		}
+		for _, c := range r.Clients {
+			_, isDual := c.Agent.(*rl.DualCriticPPO)
+			if (alg == AlgPFRLDM) != isDual {
+				t.Fatalf("%v: wrong agent type %T", alg, c.Agent)
+			}
+		}
+	}
+}
+
+func TestTrainPFRLDMUsesHalfParticipation(t *testing.T) {
+	cfg := tinyConfig(4)
+	cfg.Specs = ScaleSpecs(Table2Specs(), 4) // 4 clients -> K=2
+	r, err := Train(AlgPFRLDM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Federation.K != 2 {
+		t.Fatalf("K=%d, want N/2=2", r.Federation.K)
+	}
+}
+
+func TestRunConvergence(t *testing.T) {
+	cfg := tinyConfig(5)
+	curves, results, err := RunConvergence(cfg, []Algorithm{AlgPPO, AlgFedAvg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 || len(results) != 2 {
+		t.Fatal("missing results")
+	}
+	if len(curves["PPO"]) != cfg.Episodes || len(curves["FedAvg"]) != cfg.Episodes {
+		t.Fatal("curve lengths wrong")
+	}
+}
+
+func TestCriticLossSeries(t *testing.T) {
+	cfg := tinyConfig(6)
+	r, err := Train(AlgFedAvg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, post := CriticLossSeries(r)
+	rounds := cfg.Episodes / cfg.CommEvery
+	if len(pre) != rounds || len(post) != rounds {
+		t.Fatalf("probe lengths %d/%d, want %d", len(pre), len(post), rounds)
+	}
+	for i := range pre {
+		if pre[i] < 0 || post[i] < 0 {
+			t.Fatal("negative loss probe")
+		}
+	}
+}
+
+func TestEvalHybridDeterministicTestSets(t *testing.T) {
+	cfg := tinyConfig(7)
+	r1, err := Train(AlgPPO, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := EvalHybrid(r1, cfg, 0.2)
+	e2 := EvalHybrid(r1, cfg, 0.2)
+	if len(e1.AvgResponse) != len(cfg.Specs) {
+		t.Fatal("per-client metrics missing")
+	}
+	for i := range e1.AvgResponse {
+		if e1.AvgResponse[i] != e2.AvgResponse[i] {
+			t.Fatal("hybrid evaluation not deterministic")
+		}
+		if e1.AvgUtil[i] < 0 || e1.AvgUtil[i] > 1 {
+			t.Fatalf("utilization out of range: %v", e1.AvgUtil[i])
+		}
+	}
+}
+
+func TestBuildWilcoxonTable(t *testing.T) {
+	mk := func(alg Algorithm, base float64) *HybridEval {
+		e := &HybridEval{Algorithm: alg}
+		for i := 0; i < 10; i++ {
+			v := base + float64(i)
+			e.AvgResponse = append(e.AvgResponse, v)
+			e.Makespan = append(e.Makespan, v*2)
+			e.AvgUtil = append(e.AvgUtil, 0.5+base/100)
+			e.AvgLoadBal = append(e.AvgLoadBal, 0.1+base/100)
+		}
+		return e
+	}
+	evals := map[Algorithm]*HybridEval{
+		AlgPFRLDM: mk(AlgPFRLDM, 0),
+		AlgPPO:    mk(AlgPPO, 5),
+		AlgFedAvg: mk(AlgFedAvg, 7),
+		AlgMFPO:   mk(AlgMFPO, 3),
+	}
+	tbl, err := BuildWilcoxonTable(evals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Metrics) != 4 || len(tbl.Algorithms) != 3 {
+		t.Fatalf("table shape %dx%d", len(tbl.Metrics), len(tbl.Algorithms))
+	}
+	// PFRL-DM uniformly better on response -> p = 2/2^10.
+	want := 2.0 / 1024.0
+	if math.Abs(tbl.P[0][0]-want) > 1e-9 {
+		t.Fatalf("p=%v, want %v", tbl.P[0][0], want)
+	}
+	if _, err := BuildWilcoxonTable(map[Algorithm]*HybridEval{AlgPPO: mk(AlgPPO, 1)}); err == nil {
+		t.Fatal("missing PFRL-DM should error")
+	}
+}
+
+func TestRunWeightConfigs(t *testing.T) {
+	cfg := tinyConfig(8)
+	cfg.Specs = ScaleSpecs(Table2Specs(), 4)
+	res, err := RunWeightConfigs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Fed-Diff", "Fed-Diff-weight", "Fed-Same2", "Fed-Same2-weight"} {
+		if len(res[name]) != cfg.Episodes {
+			t.Fatalf("%s curve length %d", name, len(res[name]))
+		}
+	}
+}
+
+func TestRunWeightHeatmaps(t *testing.T) {
+	cfg := tinyConfig(9)
+	res, err := RunWeightHeatmaps(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 4 {
+		t.Fatalf("labels %v", res.Labels)
+	}
+	if res.Labels[1] != res.Labels[0]+"'" {
+		t.Fatalf("twin label wrong: %v", res.Labels)
+	}
+	for _, m := range [][][]float64{res.Attention, res.KL, res.Cosine} {
+		if len(m) != 4 {
+			t.Fatal("matrix not 4x4")
+		}
+		for _, row := range m {
+			sum := 0.0
+			for _, v := range row {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Fatalf("row not stochastic: %v", row)
+			}
+		}
+	}
+}
+
+func TestRunNewAgent(t *testing.T) {
+	cfg := tinyConfig(10)
+	res, err := RunNewAgent(cfg, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Joined) != 3 || len(res.Fresh) != 3 {
+		t.Fatalf("curves %d/%d, want 3/3", len(res.Joined), len(res.Fresh))
+	}
+}
+
+func TestRunCommFrequency(t *testing.T) {
+	cfg := tinyConfig(11)
+	out, err := RunCommFrequency(cfg, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[1]) != cfg.Episodes || len(out[2]) != cfg.Episodes {
+		t.Fatal("frequency curves wrong")
+	}
+}
+
+func TestRunAblationVariants(t *testing.T) {
+	cfg := tinyConfig(12)
+	for _, v := range []AblationVariant{AblationFull, AblationNoDualCritic, AblationNoAttention, AblationFixedAlpha} {
+		curve, err := RunAblation(cfg, v, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if len(curve) != cfg.Episodes {
+			t.Fatalf("%s: curve length %d", v, len(curve))
+		}
+	}
+}
+
+func TestRunIsoHeter(t *testing.T) {
+	cfg := tinyConfig(13)
+	cfg.Episodes = 3
+	res, err := RunIsoHeter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(cfg.Specs)
+	if len(res.Clients) != n || len(res.IsoTrainIsoTest) != n ||
+		len(res.HeterTrainHeterTest) != n {
+		t.Fatal("result vectors incomplete")
+	}
+	for i := 0; i < n; i++ {
+		for _, v := range []float64{res.IsoTrainIsoTest[i], res.IsoTrainHeterTest[i], res.HeterTrainIsoTest[i], res.HeterTrainHeterTest[i]} {
+			if v <= 0 || math.IsNaN(v) {
+				t.Fatalf("degenerate response time %v", v)
+			}
+		}
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	if AlgPFRLDM.String() != "PFRL-DM" || AlgPPO.String() != "PPO" ||
+		AlgFedAvg.String() != "FedAvg" || AlgMFPO.String() != "MFPO" {
+		t.Fatal("algorithm names wrong")
+	}
+	if len(AllAlgorithms()) != 4 {
+		t.Fatal("expected 4 algorithms")
+	}
+}
+
+func TestVMsHelperPanicsOnBadTriples(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	vms(1, 2)
+}
+
+func TestFederationClientsShareGlobalAfterTraining(t *testing.T) {
+	cfg := tinyConfig(14)
+	r, err := Train(AlgFedAvg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the last aggregation round every FedAvg client holds the same
+	// model modulo the trailing local segment; with CommEvery dividing
+	// Episodes there is no trailing segment... here 4 % 2 == 0, so the last
+	// action was a download: all clients identical.
+	tr := fed.ActorCriticTransport{}
+	ref := tr.Upload(r.Clients[0])
+	for _, c := range r.Clients[1:] {
+		got := tr.Upload(c)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatal("FedAvg clients diverged after final aggregation")
+			}
+		}
+	}
+}
+
+func TestTrainExtensionAlgorithms(t *testing.T) {
+	for _, alg := range ExtensionAlgorithms() {
+		cfg := tinyConfig(40)
+		r, err := Train(alg, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(r.MeanCurve) != cfg.Episodes || r.Federation == nil {
+			t.Fatalf("%v: incomplete result", alg)
+		}
+	}
+	if AlgFedProx.String() != "FedProx" || AlgSecureFedAvg.String() != "SecureFedAvg" {
+		t.Fatal("extension names wrong")
+	}
+}

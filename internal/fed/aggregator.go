@@ -1,0 +1,178 @@
+package fed
+
+import (
+	"fmt"
+
+	"repro/internal/attn"
+)
+
+// Aggregator combines the participating clients' uploads. Aggregate returns
+// one personalized payload per upload (same order) plus the new global
+// payload stored on the server for non-participants and late joiners.
+type Aggregator interface {
+	Name() string
+	Aggregate(uploads []Payload) (personalized []Payload, global Payload)
+}
+
+func meanPayload(uploads []Payload) Payload {
+	if len(uploads) == 0 {
+		panic("fed: aggregate of zero uploads")
+	}
+	dim := len(uploads[0])
+	out := make(Payload, dim)
+	for i, u := range uploads {
+		if len(u) != dim {
+			panic(fmt.Sprintf("fed: upload %d has %d params, want %d", i, len(u), dim))
+		}
+		for j, v := range u {
+			out[j] += v
+		}
+	}
+	inv := 1.0 / float64(len(uploads))
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// FedAvg is the classic parameter-averaging aggregator (McMahan et al.):
+// every participant receives the same global mean.
+type FedAvg struct{}
+
+// Name implements Aggregator.
+func (FedAvg) Name() string { return "FedAvg" }
+
+// Aggregate implements Aggregator.
+func (FedAvg) Aggregate(uploads []Payload) ([]Payload, Payload) {
+	global := meanPayload(uploads)
+	personalized := make([]Payload, len(uploads))
+	for i := range personalized {
+		personalized[i] = append(Payload(nil), global...)
+	}
+	return personalized, global
+}
+
+// Momentum is the server-side momentum aggregator standing in for MFPO
+// (Yue et al., INFOCOM'24): the server keeps a velocity over the aggregate
+// update direction, preserving the influence of past rounds —
+// exactly the behaviour the paper credits for MFPO's steady-but-suboptimal
+// curves in heterogeneous federations (§5.2).
+//
+//	Δ_t = mean(uploads) − g_t
+//	v_t = β·v_{t−1} + Δ_t
+//	g_{t+1} = g_t + v_t
+type Momentum struct {
+	// Beta is the momentum coefficient (0.9 in the experiments).
+	Beta float64
+
+	global   Payload
+	velocity Payload
+}
+
+// NewMomentum returns a server-momentum aggregator with coefficient beta.
+func NewMomentum(beta float64) *Momentum { return &Momentum{Beta: beta} }
+
+// Name implements Aggregator.
+func (*Momentum) Name() string { return "MFPO" }
+
+// Aggregate implements Aggregator.
+func (m *Momentum) Aggregate(uploads []Payload) ([]Payload, Payload) {
+	mean := meanPayload(uploads)
+	if m.global == nil {
+		m.global = append(Payload(nil), mean...)
+		m.velocity = make(Payload, len(mean))
+	} else {
+		if len(mean) != len(m.global) {
+			panic(fmt.Sprintf("fed: momentum dim changed %d -> %d", len(m.global), len(mean)))
+		}
+		for j := range m.global {
+			delta := mean[j] - m.global[j]
+			m.velocity[j] = m.Beta*m.velocity[j] + delta
+			m.global[j] += m.velocity[j]
+		}
+	}
+	personalized := make([]Payload, len(uploads))
+	for i := range personalized {
+		personalized[i] = append(Payload(nil), m.global...)
+	}
+	return personalized, append(Payload(nil), m.global...)
+}
+
+// Attention is PFRL-DM's personalizing aggregator (§4.4, Algorithm 1
+// lines 9–15): multi-head attention weights over the uploaded critics give
+// each participant its own mixture ψ_k = Σ_j W[k][j]·ψ_j (Eq. 21), and the
+// stored global model is the mean of the personalized models (Eq. 22).
+type Attention struct {
+	Gen *attn.Aggregator
+
+	// LastWeights is the most recent K×K attention matrix (exposed for the
+	// Figure-11 heatmap harness).
+	LastWeights [][]float64
+}
+
+// NewAttention returns an attention aggregator with the given seed for the
+// head projections.
+func NewAttention(seed int64) *Attention {
+	return &Attention{Gen: attn.NewAggregator(seed)}
+}
+
+// Name implements Aggregator.
+func (*Attention) Name() string { return "PFRL-DM" }
+
+// Aggregate implements Aggregator.
+func (a *Attention) Aggregate(uploads []Payload) ([]Payload, Payload) {
+	w := a.Gen.Weights(uploads)
+	a.LastWeights = w
+	k := len(uploads)
+	dim := len(uploads[0])
+	personalized := make([]Payload, k)
+	for i := 0; i < k; i++ {
+		p := make(Payload, dim)
+		for j := 0; j < k; j++ {
+			wij := w[i][j]
+			for d, v := range uploads[j] {
+				p[d] += wij * v
+			}
+		}
+		personalized[i] = p
+	}
+	// Eq. (22): ψ_G = mean of the personalized models.
+	global := meanPayload(personalized)
+	return personalized, global
+}
+
+// StaticWeights applies a fixed row-stochastic weight matrix — the
+// Fed-Diff-weight / Fed-Same2-weight configurations of §3.3 (Figure 10),
+// where one client is manually told to pay more attention to another.
+type StaticWeights struct {
+	// W[i][j] is the weight participant i assigns to participant j's
+	// upload. Rows should sum to 1.
+	W [][]float64
+}
+
+// Name implements Aggregator.
+func (StaticWeights) Name() string { return "static-weights" }
+
+// Aggregate implements Aggregator.
+func (s StaticWeights) Aggregate(uploads []Payload) ([]Payload, Payload) {
+	k := len(uploads)
+	if len(s.W) != k {
+		panic(fmt.Sprintf("fed: static weight matrix is %dx? for %d uploads", len(s.W), k))
+	}
+	dim := len(uploads[0])
+	personalized := make([]Payload, k)
+	for i := 0; i < k; i++ {
+		if len(s.W[i]) != k {
+			panic("fed: static weight matrix not square")
+		}
+		p := make(Payload, dim)
+		for j := 0; j < k; j++ {
+			wij := s.W[i][j]
+			for d, v := range uploads[j] {
+				p[d] += wij * v
+			}
+		}
+		personalized[i] = p
+	}
+	return personalized, meanPayload(personalized)
+}

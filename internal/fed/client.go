@@ -1,0 +1,136 @@
+// Package fed implements the federated-reinforcement-learning layer of the
+// paper: clients that train scheduling agents in their own environments, a
+// server round loop with K-of-N participation (Algorithm 1), and three
+// aggregation strategies — plain FedAvg (McMahan et al.), a server-momentum
+// aggregator standing in for MFPO (Yue et al., INFOCOM'24), and the
+// multi-head-attention personalizing aggregator of PFRL-DM (§4.4–4.5).
+//
+// The layer is composed of two orthogonal pieces:
+//
+//   - Transport: what travels between client and server. FedAvg/MFPO move
+//     the whole actor+critic; PFRL-DM moves only the public critic.
+//   - Aggregator: how the server combines uploads into per-client
+//     personalized payloads and a stored global payload for
+//     non-participants and late joiners.
+package fed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cloudsim"
+	"repro/internal/rl"
+	"repro/internal/workload"
+)
+
+// EpisodeEnv is a training environment that can restart its episode from
+// the client's fixed training data. cloudsim task sets and workflow DAG
+// sets both adapt to it, so the federation is agnostic to the environment
+// flavour.
+type EpisodeEnv interface {
+	rl.Environment
+	// Begin resets the environment to the start of a training episode.
+	Begin()
+}
+
+// Client couples an agent with its private environment and training tasks.
+type Client struct {
+	ID    int
+	Name  string
+	Env   *cloudsim.Env
+	Tasks []workload.Task
+	Agent rl.Agent
+
+	// TrainEnv, when non-nil, overrides the default task-set training
+	// loop — used for non-task environments such as workflow DAGs.
+	TrainEnv EpisodeEnv
+
+	// Rewards is the per-episode total-reward training curve.
+	Rewards []float64
+	// CriticLossPre / CriticLossPost record the critic's MSE on the most
+	// recent trajectories immediately before and after each model download
+	// (the Figure-9 probes).
+	CriticLossPre  []float64
+	CriticLossPost []float64
+	// AlphaHistory records α after every episode for dual-critic agents.
+	AlphaHistory []float64
+
+	// LastBuf holds the most recent episode's trajectories for loss probes
+	// and α refreshes.
+	LastBuf rl.Buffer
+}
+
+// NewClient builds a federated client. The environment keeps cfg's
+// federation-wide padding so all clients share observation shapes.
+func NewClient(id int, name string, cfg cloudsim.Config, tasks []workload.Task, agent rl.Agent) (*Client, error) {
+	env, err := cloudsim.NewEnv(cfg, tasks)
+	if err != nil {
+		return nil, fmt.Errorf("fed: client %d: %w", id, err)
+	}
+	return &Client{ID: id, Name: name, Env: env, Tasks: tasks, Agent: agent}, nil
+}
+
+// TrainEpisodes runs n on-policy episodes with local updates, appending to
+// the client's reward curve. The last episode's buffer is retained in
+// LastBuf for loss probes.
+func (c *Client) TrainEpisodes(n int) {
+	for i := 0; i < n; i++ {
+		var env rl.Environment
+		if c.TrainEnv != nil {
+			c.TrainEnv.Begin()
+			env = c.TrainEnv
+		} else {
+			c.Env.Reset(c.Tasks)
+			env = c.Env
+		}
+		c.LastBuf.Reset()
+		total := rl.CollectEpisode(env, c.Agent, &c.LastBuf)
+		c.Agent.Update(&c.LastBuf)
+		c.Rewards = append(c.Rewards, total)
+		if d, ok := c.Agent.(*rl.DualCriticPPO); ok {
+			c.AlphaHistory = append(c.AlphaHistory, d.Alpha)
+		}
+	}
+}
+
+// Evaluate runs one greedy episode over the given task set and returns the
+// environment metrics. The training environment configuration is reused.
+// Agents that support it are evaluated with the deployment-time
+// feasibility guard (see rl.EvaluateEpisodeMasked).
+func (c *Client) Evaluate(tasks []workload.Task) cloudsim.Metrics {
+	env := cloudsim.MustNewEnv(c.Env.Config(), tasks)
+	if ma, ok := c.Agent.(rl.MaskedAgent); ok {
+		rl.EvaluateEpisodeMasked(env, ma)
+	} else {
+		rl.EvaluateEpisode(env, c.Agent)
+	}
+	env.Drain()
+	return env.Metrics()
+}
+
+// probeCriticLoss measures the critic MSE used by the Figure-9 probes:
+// the blended critic for dual-critic agents, the single critic for PPO.
+func (c *Client) probeCriticLoss() float64 {
+	if c.LastBuf.Len() == 0 {
+		return 0
+	}
+	switch a := c.Agent.(type) {
+	case *rl.DualCriticPPO:
+		// Probe the network that aggregation touches: the public critic.
+		return rl.CriticMSE(a.PublicCritic, &c.LastBuf, a.Cfg.Gamma)
+	case *rl.PPO:
+		return rl.CriticMSE(a.Critic, &c.LastBuf, a.Cfg.Gamma)
+	default:
+		return 0
+	}
+}
+
+// shuffledSubset returns k distinct client indices drawn without
+// replacement using rng.
+func shuffledSubset(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	return perm[:k]
+}

@@ -1,0 +1,23 @@
+package fed
+
+// CommStats accounts for the scalars exchanged between the clients and the
+// server — the communication-cost comparison of §5.2 (PFRL-DM transmits
+// only public critics; FedAvg/MFPO move full actor+critic models, roughly
+// 3x the volume for the paper's architecture).
+type CommStats struct {
+	// Rounds is the number of aggregation rounds accounted.
+	Rounds int
+	// UploadScalars / DownloadScalars are cumulative float64 counts across
+	// all clients and rounds.
+	UploadScalars   int64
+	DownloadScalars int64
+}
+
+// Total returns the total scalars moved in both directions.
+func (s CommStats) Total() int64 { return s.UploadScalars + s.DownloadScalars }
+
+// Bytes returns the wire volume assuming 8-byte float64 encoding.
+func (s CommStats) Bytes() int64 { return s.Total() * 8 }
+
+// Comm returns the federation's cumulative communication statistics.
+func (f *Federation) Comm() CommStats { return f.comm }

@@ -1,0 +1,203 @@
+package fed
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Federation drives Algorithm 1: local training segments interleaved with
+// server aggregation rounds.
+type Federation struct {
+	Clients   []*Client
+	Transport Transport
+	Agg       Aggregator
+
+	// K is the number of clients that participate in each aggregation
+	// (K ≤ N; the paper uses K = N/2 for PFRL-DM).
+	K int
+	// CommEvery is the communication frequency: episodes of local training
+	// between aggregations.
+	CommEvery int
+	// Parallel trains clients in concurrent goroutines within a segment.
+	// Results are identical either way: clients are independent and each
+	// agent owns its RNG.
+	Parallel bool
+
+	// Global is the server-stored payload ψ_G (or the full model for
+	// actor+critic transports), delivered to non-participants and late
+	// joiners.
+	Global Payload
+
+	// Rounds counts completed aggregation rounds.
+	Rounds int
+
+	comm CommStats
+	rng  *rand.Rand
+}
+
+// Options configures New.
+type Options struct {
+	K         int
+	CommEvery int
+	Seed      int64
+	Parallel  bool
+}
+
+// New assembles a federation and synchronizes all clients with the initial
+// global model (the server's ψ_G^(0) in Algorithm 1, taken from client 0's
+// initialization so the whole federation shares a starting point, as in
+// standard FL).
+func New(clients []*Client, transport Transport, agg Aggregator, opts Options) (*Federation, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fed: no clients")
+	}
+	k := opts.K
+	if k <= 0 || k > len(clients) {
+		k = len(clients)
+	}
+	commEvery := opts.CommEvery
+	if commEvery <= 0 {
+		commEvery = 1
+	}
+	f := &Federation{
+		Clients:   clients,
+		Transport: transport,
+		Agg:       agg,
+		K:         k,
+		CommEvery: commEvery,
+		Parallel:  opts.Parallel,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+	}
+	f.Global = transport.Upload(clients[0])
+	for _, c := range clients {
+		if err := transport.Download(c, f.Global); err != nil {
+			return nil, fmt.Errorf("fed: initial sync to client %d: %w", c.ID, err)
+		}
+	}
+	return f, nil
+}
+
+// trainSegment runs CommEvery local episodes on every client.
+func (f *Federation) trainSegment(episodes int) {
+	if !f.Parallel {
+		for _, c := range f.Clients {
+			c.TrainEpisodes(episodes)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, c := range f.Clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			c.TrainEpisodes(episodes)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// RunRound performs one full round: a local-training segment followed by an
+// aggregation over K randomly selected participants. Participants receive
+// their personalized payloads; every other client receives the stored
+// global model (Algorithm 1, lines 13–15).
+func (f *Federation) RunRound() error {
+	f.trainSegment(f.CommEvery)
+
+	var participants []int
+	if f.K >= len(f.Clients) {
+		// Full participation keeps the stable client order, so aggregators
+		// with per-client semantics (StaticWeights) map rows to clients.
+		participants = make([]int, len(f.Clients))
+		for i := range participants {
+			participants[i] = i
+		}
+	} else {
+		participants = shuffledSubset(f.rng, len(f.Clients), f.K)
+	}
+	uploads := make([]Payload, len(participants))
+	for i, idx := range participants {
+		uploads[i] = f.Transport.Upload(f.Clients[idx])
+		f.comm.UploadScalars += int64(len(uploads[i]))
+	}
+	personalized, global := f.Agg.Aggregate(uploads)
+	f.Global = global
+
+	isParticipant := make(map[int]int, len(participants)) // client index -> upload slot
+	for i, idx := range participants {
+		isParticipant[idx] = i
+	}
+	for idx, c := range f.Clients {
+		c.CriticLossPre = append(c.CriticLossPre, c.probeCriticLoss())
+		var payload Payload
+		if slot, ok := isParticipant[idx]; ok {
+			payload = personalized[slot]
+		} else {
+			payload = f.Global
+		}
+		if err := f.Transport.Download(c, payload); err != nil {
+			return fmt.Errorf("fed: round %d download to client %d: %w", f.Rounds, c.ID, err)
+		}
+		f.comm.DownloadScalars += int64(len(payload))
+		c.CriticLossPost = append(c.CriticLossPost, c.probeCriticLoss())
+	}
+	f.Rounds++
+	f.comm.Rounds = f.Rounds
+	return nil
+}
+
+// RunEpisodes trains for the given number of episodes per client,
+// aggregating every CommEvery episodes. A trailing partial segment (when
+// episodes is not a multiple of CommEvery) is trained locally without a
+// final aggregation, matching the paper's setup where training ends on a
+// local segment.
+func (f *Federation) RunEpisodes(episodes int) error {
+	full := episodes / f.CommEvery
+	for r := 0; r < full; r++ {
+		if err := f.RunRound(); err != nil {
+			return err
+		}
+	}
+	if rem := episodes % f.CommEvery; rem > 0 {
+		f.trainSegment(rem)
+	}
+	return nil
+}
+
+// AddClient joins a new client mid-training (the Figure-20 scenario),
+// initializing it from the server's stored global model.
+func (f *Federation) AddClient(c *Client) error {
+	if err := f.Transport.Download(c, f.Global); err != nil {
+		return fmt.Errorf("fed: joining client %d: %w", c.ID, err)
+	}
+	f.Clients = append(f.Clients, c)
+	if f.K > len(f.Clients) {
+		f.K = len(f.Clients)
+	}
+	return nil
+}
+
+// MeanRewardCurve averages the clients' reward curves elementwise over the
+// first minLen episodes common to all clients.
+func MeanRewardCurve(clients []*Client) []float64 {
+	if len(clients) == 0 {
+		return nil
+	}
+	minLen := len(clients[0].Rewards)
+	for _, c := range clients[1:] {
+		if len(c.Rewards) < minLen {
+			minLen = len(c.Rewards)
+		}
+	}
+	out := make([]float64, minLen)
+	for _, c := range clients {
+		for i := 0; i < minLen; i++ {
+			out[i] += c.Rewards[i]
+		}
+	}
+	inv := 1.0 / float64(len(clients))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package fed
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/rl"
+)
+
+// Payload is a flat parameter vector exchanged between client and server.
+type Payload = []float64
+
+// Transport defines what travels between a client and the server.
+type Transport interface {
+	// Name identifies the transport in reports.
+	Name() string
+	// Upload extracts the client's shareable parameters.
+	Upload(c *Client) Payload
+	// Download installs a payload into the client.
+	Download(c *Client, p Payload) error
+	// PayloadSize returns the number of scalars exchanged per direction
+	// (the communication-cost accounting of §5.2).
+	PayloadSize(c *Client) int
+}
+
+// ActorCriticTransport moves the full PPO model (actor and critic), the
+// behaviour of traditional FedAvg and MFPO. It requires *rl.PPO agents.
+type ActorCriticTransport struct{}
+
+// Name implements Transport.
+func (ActorCriticTransport) Name() string { return "actor+critic" }
+
+func ppoOf(c *Client) (*rl.PPO, error) {
+	p, ok := c.Agent.(*rl.PPO)
+	if !ok {
+		return nil, fmt.Errorf("fed: client %d agent is %T, want *rl.PPO", c.ID, c.Agent)
+	}
+	return p, nil
+}
+
+// Upload implements Transport.
+func (ActorCriticTransport) Upload(c *Client) Payload {
+	p, err := ppoOf(c)
+	if err != nil {
+		panic(err)
+	}
+	actor := nn.FlattenParams(p.Actor)
+	critic := nn.FlattenParams(p.Critic)
+	return append(actor, critic...)
+}
+
+// Download implements Transport.
+func (ActorCriticTransport) Download(c *Client, payload Payload) error {
+	p, err := ppoOf(c)
+	if err != nil {
+		return err
+	}
+	na := nn.NumParams(p.Actor)
+	nc := nn.NumParams(p.Critic)
+	if len(payload) != na+nc {
+		return fmt.Errorf("fed: payload size %d, want %d", len(payload), na+nc)
+	}
+	if err := nn.LoadFlatParams(p.Actor, payload[:na]); err != nil {
+		return err
+	}
+	return nn.LoadFlatParams(p.Critic, payload[na:])
+}
+
+// PayloadSize implements Transport.
+func (ActorCriticTransport) PayloadSize(c *Client) int {
+	p, err := ppoOf(c)
+	if err != nil {
+		panic(err)
+	}
+	return nn.NumParams(p.Actor) + nn.NumParams(p.Critic)
+}
+
+// PublicCriticTransport moves only the public critic ψ — PFRL-DM's
+// communication pattern (actors and local critics never leave the client).
+// It requires *rl.DualCriticPPO agents.
+type PublicCriticTransport struct{}
+
+// Name implements Transport.
+func (PublicCriticTransport) Name() string { return "public-critic" }
+
+func dualOf(c *Client) (*rl.DualCriticPPO, error) {
+	d, ok := c.Agent.(*rl.DualCriticPPO)
+	if !ok {
+		return nil, fmt.Errorf("fed: client %d agent is %T, want *rl.DualCriticPPO", c.ID, c.Agent)
+	}
+	return d, nil
+}
+
+// Upload implements Transport.
+func (PublicCriticTransport) Upload(c *Client) Payload {
+	d, err := dualOf(c)
+	if err != nil {
+		panic(err)
+	}
+	return d.PublicCriticParams()
+}
+
+// Download implements Transport. Installing a new public critic refreshes
+// α against the client's most recent trajectories (§4.3: α is re-evaluated
+// "each time the model parameters change, including … receiving the global
+// model").
+func (PublicCriticTransport) Download(c *Client, payload Payload) error {
+	d, err := dualOf(c)
+	if err != nil {
+		return err
+	}
+	return d.LoadPublicCritic(payload, &c.LastBuf)
+}
+
+// PayloadSize implements Transport.
+func (PublicCriticTransport) PayloadSize(c *Client) int {
+	d, err := dualOf(c)
+	if err != nil {
+		panic(err)
+	}
+	return nn.NumParams(d.PublicCritic)
+}
+
+// FedProxTransport is ActorCriticTransport plus FedProx client behaviour:
+// every download re-anchors the client's proximal regularizer at the
+// received global model, so subsequent local updates are pulled toward it
+// (the classic drift mitigation for heterogeneous federations, included as
+// an extension baseline).
+type FedProxTransport struct {
+	// Mu is the proximal coefficient applied on the clients.
+	Mu float64
+}
+
+// Name implements Transport.
+func (t FedProxTransport) Name() string { return "fedprox(actor+critic)" }
+
+// Upload implements Transport.
+func (t FedProxTransport) Upload(c *Client) Payload {
+	return ActorCriticTransport{}.Upload(c)
+}
+
+// Download implements Transport.
+func (t FedProxTransport) Download(c *Client, payload Payload) error {
+	if err := (ActorCriticTransport{}).Download(c, payload); err != nil {
+		return err
+	}
+	p, err := ppoOf(c)
+	if err != nil {
+		return err
+	}
+	p.EnableProximal(t.Mu)
+	return nil
+}
+
+// PayloadSize implements Transport.
+func (t FedProxTransport) PayloadSize(c *Client) int {
+	return ActorCriticTransport{}.PayloadSize(c)
+}

@@ -1,0 +1,62 @@
+package fednet
+
+import (
+	"fmt"
+	"net/rpc"
+
+	"repro/internal/fed"
+)
+
+// RemoteClient trains a local fed.Client and synchronizes it with a fednet
+// server over TCP. Only transport payloads cross the wire; workload data
+// and private networks never leave the process.
+type RemoteClient struct {
+	Local     *fed.Client
+	Transport fed.Transport
+
+	id  int
+	rpc *rpc.Client
+}
+
+// Dial connects to the server, registers, and installs the initial global
+// model into the local client.
+func Dial(addr string, local *fed.Client, transport fed.Transport) (*RemoteClient, error) {
+	conn, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fednet: dial %s: %w", addr, err)
+	}
+	var reply JoinReply
+	if err := conn.Call("Federation.Join", JoinArgs{Name: local.Name}, &reply); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("fednet: join: %w", err)
+	}
+	if err := transport.Download(local, reply.Global); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("fednet: install initial global: %w", err)
+	}
+	return &RemoteClient{Local: local, Transport: transport, id: reply.ClientID, rpc: conn}, nil
+}
+
+// ID returns the server-assigned client id.
+func (c *RemoteClient) ID() int { return c.id }
+
+// RunRounds performs the given number of (train-segment, sync) rounds:
+// commEvery local episodes, then one blocking Sync exchanging only the
+// transport payload.
+func (c *RemoteClient) RunRounds(rounds, commEvery int) error {
+	for r := 0; r < rounds; r++ {
+		c.Local.TrainEpisodes(commEvery)
+		var reply SyncReply
+		args := SyncArgs{ClientID: c.id, Round: r, Upload: c.Transport.Upload(c.Local)}
+		if err := c.rpc.Call("Federation.Sync", args, &reply); err != nil {
+			return fmt.Errorf("fednet: sync round %d: %w", r, err)
+		}
+		if err := c.Transport.Download(c.Local, reply.Payload); err != nil {
+			return fmt.Errorf("fednet: install round %d payload: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Close releases the connection.
+func (c *RemoteClient) Close() error { return c.rpc.Close() }

@@ -1,0 +1,262 @@
+// Package fednet runs the federated layer over a real network: a TCP
+// aggregation server (stdlib net/rpc with gob encoding) and remote clients
+// that train locally and exchange only model payloads — the paper's
+// cross-provider collaboration made literal, with no workload data ever
+// leaving a client (§1, §3.4).
+//
+// Protocol (one round):
+//
+//  1. Every client calls Sync(round, upload). The call blocks server-side
+//     on a round barrier.
+//  2. When all registered clients have arrived, the server draws the K
+//     participants for the round, aggregates their uploads, stores the new
+//     global model, and releases the barrier.
+//  3. Each Sync returns the caller's personalized payload (participants) or
+//     the stored global model (everyone else) — exactly Algorithm 1's
+//     lines 9–15, distributed.
+//
+// The design trades throughput for reproducibility: uploads are aggregated
+// in registration order and participant selection is seeded, so a fednet
+// round is bit-identical to an in-process fed.Federation round with the
+// same inputs (asserted in tests).
+package fednet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"repro/internal/fed"
+)
+
+// JoinArgs registers a client with the server.
+type JoinArgs struct {
+	Name string
+}
+
+// JoinReply carries the assigned client id and the initial global model.
+type JoinReply struct {
+	ClientID int
+	Global   fed.Payload
+}
+
+// SyncArgs submits one round's upload.
+type SyncArgs struct {
+	ClientID int
+	Round    int
+	Upload   fed.Payload
+}
+
+// SyncReply returns the payload to install after the round.
+type SyncReply struct {
+	Payload     fed.Payload
+	Participant bool
+}
+
+// ServerConfig parameterizes a federation server.
+type ServerConfig struct {
+	// Clients is N: the number of clients that must register and that the
+	// round barrier waits for.
+	Clients int
+	// K is the number of participants aggregated per round (<=0 or >N
+	// means full participation).
+	K int
+	// Seed drives participant selection.
+	Seed int64
+	// InitialGlobal is ψ_G^(0), delivered to every joiner.
+	InitialGlobal fed.Payload
+	// Aggregator combines the uploads each round.
+	Aggregator fed.Aggregator
+}
+
+// Server is the aggregation endpoint. Create with NewServer, then Serve.
+type Server struct {
+	cfg ServerConfig
+	rng *rand.Rand
+
+	mu         sync.Mutex
+	nextID     int
+	global     fed.Payload
+	round      int
+	pending    map[int]fed.Payload // uploads of the in-progress round
+	roundDone  chan struct{}       // closed when the round aggregates
+	results    map[int]SyncReply
+	listener   net.Listener
+	rpcSrv     *rpc.Server
+	closedOnce sync.Once
+	wg         sync.WaitGroup
+}
+
+// NewServer builds a server; it does not listen yet.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Clients < 1 {
+		return nil, errors.New("fednet: server needs at least one client")
+	}
+	if cfg.Aggregator == nil {
+		return nil, errors.New("fednet: server needs an aggregator")
+	}
+	if len(cfg.InitialGlobal) == 0 {
+		return nil, errors.New("fednet: server needs an initial global model")
+	}
+	if cfg.K <= 0 || cfg.K > cfg.Clients {
+		cfg.K = cfg.Clients
+	}
+	s := &Server{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		global:    append(fed.Payload(nil), cfg.InitialGlobal...),
+		pending:   map[int]fed.Payload{},
+		roundDone: make(chan struct{}),
+		results:   map[int]SyncReply{},
+	}
+	s.rpcSrv = rpc.NewServer()
+	if err := s.rpcSrv.RegisterName("Federation", &rpcHandler{s: s}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts accepting
+// connections in background goroutines. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.listener = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.rpcSrv.ServeConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting connections and unblocks in-flight rounds with an
+// error. Safe to call multiple times.
+func (s *Server) Close() {
+	s.closedOnce.Do(func() {
+		if s.listener != nil {
+			s.listener.Close()
+		}
+	})
+}
+
+// Global returns a copy of the current global model.
+func (s *Server) Global() fed.Payload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append(fed.Payload(nil), s.global...)
+}
+
+// Rounds returns the number of completed aggregation rounds.
+func (s *Server) Rounds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
+}
+
+// rpcHandler is the net/rpc receiver (kept separate so Server's exported
+// methods don't have to fit the RPC signature shape).
+type rpcHandler struct{ s *Server }
+
+// Join implements the registration RPC.
+func (h *rpcHandler) Join(args JoinArgs, reply *JoinReply) error {
+	s := h.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nextID >= s.cfg.Clients {
+		return fmt.Errorf("fednet: federation is full (%d clients)", s.cfg.Clients)
+	}
+	reply.ClientID = s.nextID
+	reply.Global = append(fed.Payload(nil), s.global...)
+	s.nextID++
+	return nil
+}
+
+// Sync implements the round barrier RPC.
+func (h *rpcHandler) Sync(args SyncArgs, reply *SyncReply) error {
+	s := h.s
+	s.mu.Lock()
+	if args.ClientID < 0 || args.ClientID >= s.cfg.Clients {
+		s.mu.Unlock()
+		return fmt.Errorf("fednet: unknown client %d", args.ClientID)
+	}
+	if args.Round != s.round {
+		s.mu.Unlock()
+		return fmt.Errorf("fednet: client %d is on round %d, server on %d", args.ClientID, args.Round, s.round)
+	}
+	if _, dup := s.pending[args.ClientID]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("fednet: duplicate upload from client %d", args.ClientID)
+	}
+	s.pending[args.ClientID] = append(fed.Payload(nil), args.Upload...)
+	done := s.roundDone
+	if len(s.pending) == s.cfg.Clients {
+		s.aggregateLocked()
+		close(done)
+	}
+	s.mu.Unlock()
+
+	<-done
+
+	s.mu.Lock()
+	res, ok := s.results[args.ClientID]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fednet: no result for client %d", args.ClientID)
+	}
+	*reply = res
+	return nil
+}
+
+// aggregateLocked runs one aggregation; the caller holds s.mu.
+func (s *Server) aggregateLocked() {
+	n := s.cfg.Clients
+	// Participant selection mirrors fed.Federation: identity order at full
+	// participation, a seeded shuffle otherwise.
+	var participants []int
+	if s.cfg.K >= n {
+		participants = make([]int, n)
+		for i := range participants {
+			participants[i] = i
+		}
+	} else {
+		participants = s.rng.Perm(n)[:s.cfg.K]
+	}
+	uploads := make([]fed.Payload, len(participants))
+	for i, id := range participants {
+		uploads[i] = s.pending[id]
+	}
+	personalized, global := s.cfg.Aggregator.Aggregate(uploads)
+	s.global = global
+
+	s.results = make(map[int]SyncReply, n)
+	isParticipant := map[int]int{}
+	for i, id := range participants {
+		isParticipant[id] = i
+	}
+	for id := 0; id < n; id++ {
+		if slot, ok := isParticipant[id]; ok {
+			s.results[id] = SyncReply{Payload: personalized[slot], Participant: true}
+		} else {
+			s.results[id] = SyncReply{Payload: append(fed.Payload(nil), s.global...)}
+		}
+	}
+	s.pending = map[int]fed.Payload{}
+	s.round++
+	s.roundDone = make(chan struct{})
+}

@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Categorical is a discrete distribution over actions derived from one row
+// of logits, with optional action masking (forbidden actions get probability
+// zero). It is used at rollout time; the differentiable log-probability for
+// training is recomputed on the tape via autograd.LogSoftmaxRows + PickCols.
+type Categorical struct {
+	probs []float64
+	logp  []float64
+}
+
+// NewCategorical builds the distribution from logits. mask may be nil; when
+// provided, mask[i]==false removes action i. If every action is masked the
+// distribution falls back to uniform over all actions (the caller should
+// treat that as a modelling bug, but sampling stays well-defined).
+func NewCategorical(logits []float64, mask []bool) *Categorical {
+	n := len(logits)
+	c := &Categorical{probs: make([]float64, n), logp: make([]float64, n)}
+	mx := math.Inf(-1)
+	anyAllowed := false
+	for i, l := range logits {
+		if mask == nil || mask[i] {
+			anyAllowed = true
+			if l > mx {
+				mx = l
+			}
+		}
+	}
+	if !anyAllowed {
+		p := 1.0 / float64(n)
+		for i := range c.probs {
+			c.probs[i] = p
+			c.logp[i] = math.Log(p)
+		}
+		return c
+	}
+	sum := 0.0
+	for i, l := range logits {
+		if mask == nil || mask[i] {
+			e := math.Exp(l - mx)
+			c.probs[i] = e
+			sum += e
+		}
+	}
+	lse := mx + math.Log(sum)
+	for i, l := range logits {
+		if mask == nil || mask[i] {
+			c.probs[i] /= sum
+			c.logp[i] = l - lse
+		} else {
+			c.logp[i] = math.Inf(-1)
+		}
+	}
+	return c
+}
+
+// Sample draws an action index using rng.
+func (c *Categorical) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	last := 0
+	for i, p := range c.probs {
+		if p == 0 {
+			continue
+		}
+		acc += p
+		last = i
+		if u < acc {
+			return i
+		}
+	}
+	return last // guard against floating-point shortfall
+}
+
+// Argmax returns the most probable action (greedy evaluation).
+func (c *Categorical) Argmax() int {
+	best, bestP := 0, -1.0
+	for i, p := range c.probs {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}
+
+// LogProb returns log P(action).
+func (c *Categorical) LogProb(action int) float64 { return c.logp[action] }
+
+// Prob returns P(action).
+func (c *Categorical) Prob(action int) float64 { return c.probs[action] }
+
+// Entropy returns the Shannon entropy of the distribution in nats.
+func (c *Categorical) Entropy() float64 {
+	h := 0.0
+	for _, p := range c.probs {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// Probs returns a copy of the probability vector.
+func (c *Categorical) Probs() []float64 { return append([]float64(nil), c.probs...) }
+
+// CategoricalFromRow is a convenience wrapper building the distribution from
+// row r of a logits matrix.
+func CategoricalFromRow(logits *tensor.Matrix, r int, mask []bool) *Categorical {
+	return NewCategorical(logits.Row(r), mask)
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSaveLoadMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP(rng, "net", []int{4, 8, 2}, ActTanh, 0.5)
+	var buf bytes.Buffer
+	if err := SaveMLP(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.RandNormal(rng, 3, 4, 0, 1)
+	if !m.Predict(in).ApproxEqual(loaded.Predict(in), 1e-12) {
+		t.Fatal("round trip changed outputs")
+	}
+	if loaded.Act != ActTanh {
+		t.Fatal("activation lost")
+	}
+}
+
+func TestSaveLoadMLPAllActivations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, act := range []Activation{ActTanh, ActReLU, ActNone} {
+		m := NewMLP(rng, "net", []int{2, 3, 1}, act, 1.0)
+		var buf bytes.Buffer
+		if err := SaveMLP(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadMLP(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", act, err)
+		}
+		in := tensor.RandNormal(rng, 2, 2, 0, 1)
+		if !m.Predict(in).ApproxEqual(loaded.Predict(in), 1e-12) {
+			t.Fatalf("%v: outputs differ", act)
+		}
+	}
+}
+
+func TestLoadMLPRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"format":"other","sizes":[2,1],"activation":"tanh","params":[]}`,
+		`{"format":"pfrl-dm/mlp/v1","sizes":[2],"activation":"tanh","params":[]}`,
+		`{"format":"pfrl-dm/mlp/v1","sizes":[2,1],"activation":"swish","params":[]}`,
+		`{"format":"pfrl-dm/mlp/v1","sizes":[2,1],"activation":"tanh","params":[1,2]}`,
+	}
+	for i, c := range cases {
+		if _, err := LoadMLP(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMLPFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mlp.json")
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(rng, "net", []int{3, 4, 1}, ActReLU, 1.0)
+	if err := SaveMLPFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMLPFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.RandNormal(rng, 2, 3, 0, 1)
+	if !m.Predict(in).ApproxEqual(loaded.Predict(in), 1e-12) {
+		t.Fatal("file round trip changed outputs")
+	}
+	if _, err := LoadMLPFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}

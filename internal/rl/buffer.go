@@ -1,0 +1,104 @@
+// Package rl implements the reinforcement-learning agents of the paper:
+// clipped-surrogate PPO (Schulman et al. 2017, Eqs. 10–12 of the paper) and
+// the dual-critic PPO that is the client-side half of PFRL-DM (§4.3): a
+// local critic φ and a public critic ψ whose value estimates are blended
+// with an adaptive weight α derived from their respective losses (Eqs.
+// 14–15), both regressed toward the observed returns (Eqs. 16–17).
+package rl
+
+import "math"
+
+// Transition is one step of experience.
+type Transition struct {
+	State   []float64
+	Action  int
+	Reward  float64
+	LogProb float64 // log π_old(a|s) at collection time
+	Value   float64 // V(s) estimate at collection time (blended for dual-critic)
+	Done    bool    // episode terminated after this transition
+}
+
+// Buffer accumulates an on-policy trajectory batch.
+type Buffer struct {
+	steps []Transition
+}
+
+// Add appends one transition.
+func (b *Buffer) Add(t Transition) { b.steps = append(b.steps, t) }
+
+// Len returns the number of stored transitions.
+func (b *Buffer) Len() int { return len(b.steps) }
+
+// Reset clears the buffer, retaining capacity.
+func (b *Buffer) Reset() { b.steps = b.steps[:0] }
+
+// Steps exposes the stored transitions (read-only use expected).
+func (b *Buffer) Steps() []Transition { return b.steps }
+
+// Returns computes the discounted return-to-go G_t for every step, resetting
+// at episode boundaries (Done flags).
+func (b *Buffer) Returns(gamma float64) []float64 {
+	n := len(b.steps)
+	g := make([]float64, n)
+	acc := 0.0
+	for i := n - 1; i >= 0; i-- {
+		if b.steps[i].Done {
+			acc = 0
+		}
+		acc = b.steps[i].Reward + gamma*acc
+		g[i] = acc
+	}
+	return g
+}
+
+// GAE computes Generalized Advantage Estimation with the stored value
+// estimates, resetting at episode boundaries. It returns (advantages,
+// valueTargets) where valueTargets[i] = advantages[i] + Value[i] (the
+// λ-return critic target). Terminal states bootstrap with value 0.
+func (b *Buffer) GAE(gamma, lambda float64) (adv, targets []float64) {
+	n := len(b.steps)
+	adv = make([]float64, n)
+	targets = make([]float64, n)
+	gae := 0.0
+	for i := n - 1; i >= 0; i-- {
+		s := b.steps[i]
+		nextValue := 0.0
+		if !s.Done && i+1 < n {
+			nextValue = b.steps[i+1].Value
+		}
+		if s.Done {
+			gae = 0
+		}
+		delta := s.Reward + gamma*nextValue - s.Value
+		gae = delta + gamma*lambda*gae
+		adv[i] = gae
+		targets[i] = gae + s.Value
+	}
+	return adv, targets
+}
+
+// NormalizeInPlace standardizes v to zero mean and unit variance (no-op for
+// fewer than two elements or zero variance). PPO normalizes advantages per
+// batch for stable updates.
+func NormalizeInPlace(v []float64) {
+	if len(v) < 2 {
+		return
+	}
+	mean := 0.0
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	variance := 0.0
+	for _, x := range v {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(v))
+	if variance < 1e-12 {
+		return
+	}
+	inv := 1.0 / (math.Sqrt(variance) + 1e-8)
+	for i := range v {
+		v[i] = (v[i] - mean) * inv
+	}
+}

@@ -1,0 +1,30 @@
+package rl
+
+import (
+	"repro/internal/autograd"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Thin aliases so the main test file reads cleanly.
+
+type tensorMatrix = tensor.Matrix
+
+func tensorRowVector(v []float64) *tensorMatrix { return tensor.RowVector(v) }
+
+func nnCopy(dst, src nn.Module) error { return nn.CopyParams(dst, src) }
+
+// trainCriticStep accumulates one MSE gradient of critic vs. buffer returns.
+func trainCriticStep(critic *nn.MLP, buf *Buffer) {
+	steps := buf.Steps()
+	returns := buf.Returns(0.99)
+	states := tensor.New(len(steps), len(steps[0].State))
+	target := tensor.New(len(steps), 1)
+	for i, s := range steps {
+		copy(states.Row(i), s.State)
+		target.Data[i] = returns[i]
+	}
+	tape := autograd.NewTape()
+	v := critic.Forward(tape, tape.Const(states))
+	autograd.Mean(autograd.Square(autograd.Sub(v, tape.Const(target)))).Backward()
+}

@@ -1,0 +1,337 @@
+package rl
+
+import (
+	"math/rand"
+
+	"repro/internal/autograd"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config holds the PPO hyperparameters. The defaults mirror §3.1 of the
+// paper: one hidden layer of 64 units, actor lr 3e-4, critic lr 1e-4,
+// γ = 0.99, clip ε = 0.2.
+type Config struct {
+	StateDim   int
+	NumActions int
+	Hidden     []int // hidden layer sizes; nil means [64]
+
+	ActorLR  float64
+	CriticLR float64
+	Gamma    float64
+	Lambda   float64 // GAE λ
+	Clip     float64 // ε in Eq. (12)
+	EntCoef  float64 // entropy bonus coefficient
+	// UpdateEpochs is Ω': optimization passes over the batch per Update.
+	UpdateEpochs int
+	MiniBatch    int
+	MaxGradNorm  float64 // 0 disables clipping
+
+	// ValueClip, when positive, clips the critic's new predictions to
+	// within ±ValueClip of the collection-time value estimates and takes
+	// the elementwise max of the clipped and unclipped losses (PPO2-style
+	// value clipping; 0 disables, the paper's setting).
+	ValueClip float64
+	// TargetKL, when positive, stops the epoch loop early once the
+	// approximate KL(π_old ‖ π_new) of an epoch exceeds it (standard PPO
+	// safeguard; 0 disables, the paper's setting).
+	TargetKL float64
+}
+
+// DefaultConfig returns the paper's hyperparameters for a given
+// state/action space.
+func DefaultConfig(stateDim, numActions int) Config {
+	return Config{
+		StateDim:     stateDim,
+		NumActions:   numActions,
+		Hidden:       []int{64},
+		ActorLR:      3e-4,
+		CriticLR:     1e-4,
+		Gamma:        0.99,
+		Lambda:       0.95,
+		Clip:         0.2,
+		EntCoef:      0.01,
+		UpdateEpochs: 4,
+		MiniBatch:    64,
+		MaxGradNorm:  0.5,
+	}
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Hidden == nil {
+		out.Hidden = []int{64}
+	}
+	if out.MiniBatch <= 0 {
+		out.MiniBatch = 64
+	}
+	if out.UpdateEpochs <= 0 {
+		out.UpdateEpochs = 4
+	}
+	return out
+}
+
+func (c *Config) actorSizes() []int {
+	return append(append([]int{c.StateDim}, c.Hidden...), c.NumActions)
+}
+
+func (c *Config) criticSizes() []int {
+	return append(append([]int{c.StateDim}, c.Hidden...), 1)
+}
+
+// UpdateStats summarizes one Update call.
+type UpdateStats struct {
+	ActorLoss  float64 // final-epoch mean clipped surrogate (negated objective)
+	CriticLoss float64 // final-epoch mean value MSE
+	Entropy    float64 // final-epoch mean policy entropy
+	ApproxKL   float64 // final-epoch approximate KL(π_old ‖ π_new)
+}
+
+// PPO is an independent clipped-surrogate PPO agent with a single critic —
+// the paper's baseline and the building block for FedAvg / MFPO clients.
+type PPO struct {
+	Cfg    Config
+	Actor  *nn.MLP
+	Critic *nn.MLP
+
+	actorOpt  *nn.Adam
+	criticOpt *nn.Adam
+	rng       *rand.Rand
+	prox      Proximal
+}
+
+// NewPPO builds an agent with freshly initialized networks.
+func NewPPO(cfg Config, rng *rand.Rand) *PPO {
+	cfg = cfg.withDefaults()
+	p := &PPO{
+		Cfg:    cfg,
+		Actor:  nn.NewMLP(rng, "actor", cfg.actorSizes(), nn.ActTanh, 0.01),
+		Critic: nn.NewMLP(rng, "critic", cfg.criticSizes(), nn.ActTanh, 1.0),
+		rng:    rng,
+	}
+	p.actorOpt = nn.NewAdam(p.Actor, cfg.ActorLR)
+	p.criticOpt = nn.NewAdam(p.Critic, cfg.CriticLR)
+	return p
+}
+
+// SelectAction samples an action from π(·|state) and returns it with its
+// log-probability under the current policy.
+func (p *PPO) SelectAction(state []float64) (action int, logProb float64) {
+	logits := p.Actor.Predict(tensor.RowVector(state))
+	dist := nn.CategoricalFromRow(logits, 0, nil)
+	a := dist.Sample(p.rng)
+	return a, dist.LogProb(a)
+}
+
+// GreedyAction returns argmax_a π(a|state) (used for evaluation).
+func (p *PPO) GreedyAction(state []float64) int {
+	logits := p.Actor.Predict(tensor.RowVector(state))
+	return nn.CategoricalFromRow(logits, 0, nil).Argmax()
+}
+
+// GreedyMaskedAction returns the most probable action among those allowed
+// by mask — the deployment-time feasibility guard (a production scheduler
+// never submits a placement the admission check would reject).
+func (p *PPO) GreedyMaskedAction(state []float64, mask []bool) int {
+	logits := p.Actor.Predict(tensor.RowVector(state))
+	return nn.CategoricalFromRow(logits, 0, mask).Argmax()
+}
+
+// Value returns the critic's estimate V(state).
+func (p *PPO) Value(state []float64) float64 {
+	return p.Critic.Predict(tensor.RowVector(state)).Data[0]
+}
+
+// Update runs the clipped PPO update (Eqs. 10–12) over the buffer.
+func (p *PPO) Update(buf *Buffer) UpdateStats {
+	adv, targets := buf.GAE(p.Cfg.Gamma, p.Cfg.Lambda)
+	NormalizeInPlace(adv)
+	return ppoUpdate(ppoUpdateSpec{
+		cfg:      p.Cfg,
+		rng:      p.rng,
+		buf:      buf,
+		adv:      adv,
+		targets:  targets,
+		actor:    p.Actor,
+		actorOpt: p.actorOpt,
+		criticLoss: func(tape *autograd.Tape, states, targets, oldValues *autograd.Value) *autograd.Value {
+			return valueLoss(p.Critic.Forward(tape, states), targets, oldValues, p.Cfg.ValueClip)
+		},
+		criticModules: []criticModule{
+			{net: p.Critic, opt: p.criticOpt},
+		},
+		prox: &p.prox,
+	})
+}
+
+// criticModule pairs a critic network with its optimizer for the shared
+// update loop.
+type criticModule struct {
+	net *nn.MLP
+	opt *nn.Adam
+}
+
+// ppoUpdateSpec feeds the shared minibatch update loop used by both PPO and
+// DualCriticPPO. criticLoss produces the scalar loss to minimize for the
+// critic networks (a single MSE for PPO; the sum of the two independent
+// regressions of Eqs. 16–17 for the dual critic); every module in
+// criticModules is stepped.
+type ppoUpdateSpec struct {
+	cfg     Config
+	rng     *rand.Rand
+	buf     *Buffer
+	adv     []float64
+	targets []float64
+
+	actor    *nn.MLP
+	actorOpt *nn.Adam
+
+	// criticLoss builds the scalar critic loss; oldValues holds the
+	// collection-time value estimates (for PPO2-style value clipping).
+	criticLoss    func(tape *autograd.Tape, states, targets, oldValues *autograd.Value) *autograd.Value
+	criticModules []criticModule
+
+	// prox, when non-nil, applies FedProx regularization to every stepped
+	// module (see Proximal).
+	prox *Proximal
+}
+
+func ppoUpdate(s ppoUpdateSpec) UpdateStats {
+	steps := s.buf.Steps()
+	n := len(steps)
+	if n == 0 {
+		return UpdateStats{}
+	}
+	stateDim := s.cfg.StateDim
+	var stats UpdateStats
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < s.cfg.UpdateEpochs; epoch++ {
+		s.rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochActor, epochCritic, epochEntropy := 0.0, 0.0, 0.0
+		epochKL := 0.0
+		batches := 0
+		for lo := 0; lo < n; lo += s.cfg.MiniBatch {
+			hi := lo + s.cfg.MiniBatch
+			if hi > n {
+				hi = n
+			}
+			bsz := hi - lo
+			states := tensor.New(bsz, stateDim)
+			actions := make([]int, bsz)
+			oldLogp := tensor.New(bsz, 1)
+			advantage := tensor.New(bsz, 1)
+			target := tensor.New(bsz, 1)
+			oldValue := tensor.New(bsz, 1)
+			for bi := 0; bi < bsz; bi++ {
+				t := idx[lo+bi]
+				copy(states.Row(bi), steps[t].State)
+				actions[bi] = steps[t].Action
+				oldLogp.Data[bi] = steps[t].LogProb
+				advantage.Data[bi] = s.adv[t]
+				target.Data[bi] = s.targets[t]
+				oldValue.Data[bi] = steps[t].Value
+			}
+
+			// --- Actor step: L = -E[min(r·A, clip(r)·A)] - c·H(π) ---
+			nn.ZeroGrads(s.actor)
+			tape := autograd.NewTape()
+			sIn := tape.Const(states)
+			logits := s.actor.Forward(tape, sIn)
+			logp := autograd.LogSoftmaxRows(logits)
+			actLogp := autograd.PickCols(logp, actions)
+			ratio := autograd.Exp(autograd.Sub(actLogp, tape.Const(oldLogp)))
+			advC := tape.Const(advantage)
+			surr1 := autograd.Mul(ratio, advC)
+			surr2 := autograd.Mul(autograd.Clamp(ratio, 1-s.cfg.Clip, 1+s.cfg.Clip), advC)
+			objective := autograd.Mean(autograd.Minimum(surr1, surr2))
+			probs := autograd.SoftmaxRows(logits)
+			entropy := autograd.Neg(autograd.Mean(autograd.SumRows(autograd.Mul(probs, logp))))
+			// Mean over SumRows divides by bsz (matrix is Nx1), so entropy is
+			// the batch-mean policy entropy.
+			loss := autograd.Sub(autograd.Neg(objective), autograd.Scale(entropy, s.cfg.EntCoef))
+			loss.Backward()
+			if s.prox != nil {
+				s.prox.Apply(s.actor)
+			}
+			nn.ClipGradNorm(s.actor, s.cfg.MaxGradNorm)
+			s.actorOpt.Step()
+			epochActor += -objective.Item()
+			epochEntropy += entropy.Item()
+			// Approximate KL(π_old ‖ π_new) = E[log π_old − log π_new].
+			klBatch := 0.0
+			for bi := 0; bi < bsz; bi++ {
+				klBatch += oldLogp.Data[bi] - actLogp.Data.Data[bi]
+			}
+			epochKL += klBatch / float64(bsz)
+
+			// --- Critic step(s) ---
+			for _, cm := range s.criticModules {
+				nn.ZeroGrads(cm.net)
+			}
+			ctape := autograd.NewTape()
+			closs := s.criticLoss(ctape, ctape.Const(states), ctape.Const(target), ctape.Const(oldValue))
+			closs.Backward()
+			for _, cm := range s.criticModules {
+				if s.prox != nil {
+					s.prox.Apply(cm.net)
+				}
+				nn.ClipGradNorm(cm.net, s.cfg.MaxGradNorm)
+				cm.opt.Step()
+			}
+			epochCritic += closs.Item()
+			batches++
+		}
+		if batches > 0 {
+			stats = UpdateStats{
+				ActorLoss:  epochActor / float64(batches),
+				CriticLoss: epochCritic / float64(batches),
+				Entropy:    epochEntropy / float64(batches),
+				ApproxKL:   epochKL / float64(batches),
+			}
+		}
+		if s.cfg.TargetKL > 0 && batches > 0 && stats.ApproxKL > s.cfg.TargetKL {
+			break // the policy moved far enough; further epochs overfit the batch
+		}
+	}
+	return stats
+}
+
+// valueLoss builds the critic regression loss: plain MSE, or the PPO2
+// clipped form max(MSE(v), MSE(vOld + clip(v−vOld, ±ε))) when clip > 0.
+func valueLoss(pred, targets, oldValues *autograd.Value, clip float64) *autograd.Value {
+	plain := autograd.Square(autograd.Sub(pred, targets))
+	if clip <= 0 {
+		return autograd.Mean(plain)
+	}
+	clipped := autograd.Add(oldValues, autograd.Clamp(autograd.Sub(pred, oldValues), -clip, clip))
+	clippedSq := autograd.Square(autograd.Sub(clipped, targets))
+	// Elementwise max(a,b) = −min(−a,−b).
+	worst := autograd.Neg(autograd.Minimum(autograd.Neg(plain), autograd.Neg(clippedSq)))
+	return autograd.Mean(worst)
+}
+
+// CriticMSE evaluates a critic's mean squared error against the discounted
+// returns of the trajectories in buf — the loss probe used for the adaptive
+// α (Eq. 15) and for Figure 9.
+func CriticMSE(critic *nn.MLP, buf *Buffer, gamma float64) float64 {
+	steps := buf.Steps()
+	if len(steps) == 0 {
+		return 0
+	}
+	returns := buf.Returns(gamma)
+	states := tensor.New(len(steps), len(steps[0].State))
+	for i, s := range steps {
+		copy(states.Row(i), s.State)
+	}
+	v := critic.Predict(states)
+	mse := 0.0
+	for i := range returns {
+		d := v.Data[i] - returns[i]
+		mse += d * d
+	}
+	return mse / float64(len(returns))
+}

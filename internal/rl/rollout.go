@@ -1,0 +1,109 @@
+package rl
+
+// Environment is the MDP contract the agents train against. cloudsim.Env
+// implements it; any other discrete-action environment (a different
+// scheduler model, a toy benchmark) can be plugged in without touching the
+// agents.
+type Environment interface {
+	// Observe encodes the current state into dst (reallocating when dst is
+	// too small) and returns the buffer.
+	Observe(dst []float64) []float64
+	// Step executes an action and returns its reward.
+	Step(action int) float64
+	// Done reports whether the episode has ended.
+	Done() bool
+	// StateDim returns the observation length.
+	StateDim() int
+	// NumActions returns the size of the discrete action space.
+	NumActions() int
+	// FeasibleActions masks the currently admissible actions.
+	FeasibleActions() []bool
+}
+
+// Agent is the training-time contract shared by PPO and DualCriticPPO.
+type Agent interface {
+	// SelectAction samples from the current policy.
+	SelectAction(state []float64) (action int, logProb float64)
+	// GreedyAction returns the mode of the policy (evaluation).
+	GreedyAction(state []float64) int
+	// Value estimates V(state) with the agent's critic(s).
+	Value(state []float64) float64
+	// Update consumes an on-policy buffer and improves the networks.
+	Update(buf *Buffer) UpdateStats
+}
+
+// MaskedAgent is an Agent whose greedy action can be restricted to the
+// environment's feasible set.
+type MaskedAgent interface {
+	Agent
+	// GreedyMaskedAction returns argmax over allowed actions.
+	GreedyMaskedAction(state []float64, mask []bool) int
+}
+
+// Compile-time interface checks.
+var (
+	_ Agent       = (*PPO)(nil)
+	_ Agent       = (*DualCriticPPO)(nil)
+	_ MaskedAgent = (*PPO)(nil)
+	_ MaskedAgent = (*DualCriticPPO)(nil)
+)
+
+// CollectEpisode runs one stochastic-policy episode on env, appending every
+// transition to buf (with the agent's value estimates for GAE), and returns
+// the episode's total reward. The caller is responsible for resetting the
+// environment beforehand and may read environment-specific metrics after.
+func CollectEpisode(env Environment, agent Agent, buf *Buffer) float64 {
+	total := 0.0
+	state := env.Observe(nil)
+	for !env.Done() {
+		action, logp := agent.SelectAction(state)
+		value := agent.Value(state)
+		reward := env.Step(action)
+		total += reward
+		done := env.Done()
+		buf.Add(Transition{
+			State:   append([]float64(nil), state...),
+			Action:  action,
+			Reward:  reward,
+			LogProb: logp,
+			Value:   value,
+			Done:    done,
+		})
+		if !done {
+			state = env.Observe(state)
+		}
+	}
+	return total
+}
+
+// EvaluateEpisode runs one greedy episode (no exploration, no recording)
+// and returns the total reward.
+func EvaluateEpisode(env Environment, agent Agent) float64 {
+	total := 0.0
+	state := env.Observe(nil)
+	for !env.Done() {
+		total += env.Step(agent.GreedyAction(state))
+		if !env.Done() {
+			state = env.Observe(state)
+		}
+	}
+	return total
+}
+
+// EvaluateEpisodeMasked runs one greedy episode with the deployment-time
+// feasibility guard: the policy only chooses among placements the
+// environment can actually admit (plus Wait). Training remains unmasked —
+// agents learn feasibility through the Eq. (9) penalties, as in the paper —
+// but a deployed scheduler never submits a placement its admission check
+// would reject, so evaluation uses the guard.
+func EvaluateEpisodeMasked(env Environment, agent MaskedAgent) float64 {
+	total := 0.0
+	state := env.Observe(nil)
+	for !env.Done() {
+		total += env.Step(agent.GreedyMaskedAction(state, env.FeasibleActions()))
+		if !env.Done() {
+			state = env.Observe(state)
+		}
+	}
+	return total
+}

@@ -1,0 +1,112 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/nn"
+)
+
+// agentCheckpoint is the on-disk representation of a trained agent.
+type agentCheckpoint struct {
+	Format string  `json:"format"`
+	Kind   string  `json:"kind"` // "ppo" | "dual-critic"
+	Cfg    Config  `json:"config"`
+	Alpha  float64 `json:"alpha,omitempty"`
+
+	Actor        []float64 `json:"actor"`
+	Critic       []float64 `json:"critic,omitempty"`
+	LocalCritic  []float64 `json:"localCritic,omitempty"`
+	PublicCritic []float64 `json:"publicCritic,omitempty"`
+}
+
+const agentFormat = "pfrl-dm/agent/v1"
+
+// SaveAgent serializes a PPO or DualCriticPPO agent as JSON. Optimizer
+// moments are not persisted: a reloaded agent is for inference or
+// fine-tuning with fresh optimizer state.
+func SaveAgent(w io.Writer, agent Agent) error {
+	var ck agentCheckpoint
+	ck.Format = agentFormat
+	switch a := agent.(type) {
+	case *PPO:
+		ck.Kind = "ppo"
+		ck.Cfg = a.Cfg
+		ck.Actor = nn.FlattenParams(a.Actor)
+		ck.Critic = nn.FlattenParams(a.Critic)
+	case *DualCriticPPO:
+		ck.Kind = "dual-critic"
+		ck.Cfg = a.Cfg
+		ck.Alpha = a.Alpha
+		ck.Actor = nn.FlattenParams(a.Actor)
+		ck.LocalCritic = nn.FlattenParams(a.LocalCritic)
+		ck.PublicCritic = nn.FlattenParams(a.PublicCritic)
+	default:
+		return fmt.Errorf("rl: cannot serialize agent type %T", agent)
+	}
+	return json.NewEncoder(w).Encode(ck)
+}
+
+// LoadAgent reconstructs an agent saved by SaveAgent. The returned agent
+// uses rng for its action sampling.
+func LoadAgent(r io.Reader, rng *rand.Rand) (Agent, error) {
+	var ck agentCheckpoint
+	if err := json.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("rl: decode agent checkpoint: %w", err)
+	}
+	if ck.Format != agentFormat {
+		return nil, fmt.Errorf("rl: unknown agent checkpoint format %q", ck.Format)
+	}
+	switch ck.Kind {
+	case "ppo":
+		a := NewPPO(ck.Cfg, rng)
+		if err := nn.LoadFlatParams(a.Actor, ck.Actor); err != nil {
+			return nil, err
+		}
+		if err := nn.LoadFlatParams(a.Critic, ck.Critic); err != nil {
+			return nil, err
+		}
+		return a, nil
+	case "dual-critic":
+		a := NewDualCriticPPO(ck.Cfg, rng)
+		a.Alpha = ck.Alpha
+		if err := nn.LoadFlatParams(a.Actor, ck.Actor); err != nil {
+			return nil, err
+		}
+		if err := nn.LoadFlatParams(a.LocalCritic, ck.LocalCritic); err != nil {
+			return nil, err
+		}
+		if err := nn.LoadFlatParams(a.PublicCritic, ck.PublicCritic); err != nil {
+			return nil, err
+		}
+		return a, nil
+	default:
+		return nil, fmt.Errorf("rl: unknown agent kind %q", ck.Kind)
+	}
+}
+
+// SaveAgentFile writes an agent checkpoint to path.
+func SaveAgentFile(path string, agent Agent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveAgent(f, agent); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadAgentFile reads an agent checkpoint from path.
+func LoadAgentFile(path string, rng *rand.Rand) (Agent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadAgent(f, rng)
+}

@@ -1,0 +1,110 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-accumulate operations
+// (rows*cols*inner) above which MatMul fans out across goroutines. Below the
+// threshold the goroutine overhead dominates any speedup for the small
+// matrices used by the 64-unit MLPs in this repository.
+const parallelThreshold = 64 * 1024
+
+// MatMul returns the matrix product m · b.
+// It panics if m.Cols != b.Rows. Large products are tiled by row blocks
+// across GOMAXPROCS goroutines.
+func (m *Matrix) MatMul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := New(m.Rows, b.Cols)
+	work := m.Rows * m.Cols * b.Cols
+	if work < parallelThreshold || m.Rows < 2 {
+		matmulRange(out, m, b, 0, m.Rows)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m.Rows {
+		workers = m.Rows
+	}
+	chunk := (m.Rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRange(out, m, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// matmulRange computes rows [lo,hi) of out = m·b using an ikj loop order so
+// the inner loop walks both b and out contiguously.
+func matmulRange(out, m, b *Matrix, lo, hi int) {
+	n, p := m.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		mrow := m.Data[i*n : (i+1)*n]
+		orow := out.Data[i*p : (i+1)*p]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.Data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB returns m · bᵀ without materializing the transpose.
+func (m *Matrix) MatMulTransB(b *Matrix) *Matrix {
+	if m.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %dx%d · (%dx%d)ᵀ", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := New(m.Rows, b.Rows)
+	n := m.Cols
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Data[i*n : (i+1)*n]
+		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*n : (j+1)*n]
+			s := 0.0
+			for k, mv := range mrow {
+				s += mv * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns mᵀ · b without materializing the transpose.
+func (m *Matrix) MatMulTransA(b *Matrix) *Matrix {
+	if m.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch (%dx%d)ᵀ · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := New(m.Cols, b.Cols)
+	for k := 0; k < m.Rows; k++ {
+		mrow := m.Data[k*m.Cols : (k+1)*m.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+	return out
+}

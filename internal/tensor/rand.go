@@ -1,0 +1,83 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandUniform returns a rows x cols matrix with elements drawn uniformly
+// from [lo, hi) using rng.
+func RandUniform(rng *rand.Rand, rows, cols int, lo, hi float64) *Matrix {
+	m := New(rows, cols)
+	span := hi - lo
+	for i := range m.Data {
+		m.Data[i] = lo + span*rng.Float64()
+	}
+	return m
+}
+
+// RandNormal returns a rows x cols matrix with elements drawn from
+// N(mean, std²) using rng.
+func RandNormal(rng *rand.Rand, rows, cols int, mean, std float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = mean + std*rng.NormFloat64()
+	}
+	return m
+}
+
+// XavierUniform returns a fanOut x fanIn weight matrix initialized with the
+// Glorot/Xavier uniform scheme: U(-a, a) with a = sqrt(6/(fanIn+fanOut)).
+// The orientation (rows = fanOut) matches nn.Linear's weight layout.
+func XavierUniform(rng *rand.Rand, fanOut, fanIn int) *Matrix {
+	a := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return RandUniform(rng, fanOut, fanIn, -a, a)
+}
+
+// HeNormal returns a fanOut x fanIn weight matrix initialized with the
+// He/Kaiming normal scheme: N(0, 2/fanIn), suited to ReLU activations.
+func HeNormal(rng *rand.Rand, fanOut, fanIn int) *Matrix {
+	return RandNormal(rng, fanOut, fanIn, 0, math.Sqrt(2.0/float64(fanIn)))
+}
+
+// OrthogonalScaled returns a fanOut x fanIn matrix whose rows are
+// orthonormalized via Gram-Schmidt over Gaussian draws, scaled by gain.
+// Orthogonal initialization is the standard choice for PPO policy layers.
+func OrthogonalScaled(rng *rand.Rand, fanOut, fanIn int, gain float64) *Matrix {
+	m := RandNormal(rng, fanOut, fanIn, 0, 1)
+	// Gram-Schmidt across rows (or as many as fit in the row space).
+	for i := 0; i < fanOut; i++ {
+		ri := m.Row(i)
+		for j := 0; j < i && j < fanIn; j++ {
+			rj := m.Row(j)
+			dot := 0.0
+			for k := range ri {
+				dot += ri[k] * rj[k]
+			}
+			for k := range ri {
+				ri[k] -= dot * rj[k]
+			}
+		}
+		norm := 0.0
+		for _, v := range ri {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			// Degenerate row (possible when fanOut > fanIn); re-draw it.
+			for k := range ri {
+				ri[k] = rng.NormFloat64()
+			}
+			norm = 0
+			for _, v := range ri {
+				norm += v * v
+			}
+			norm = math.Sqrt(norm)
+		}
+		inv := gain / norm
+		for k := range ri {
+			ri[k] *= inv
+		}
+	}
+	return m
+}

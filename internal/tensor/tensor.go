@@ -1,0 +1,471 @@
+// Package tensor provides a dense, row-major float64 matrix type and the
+// linear-algebra kernels used by the autograd engine and neural networks in
+// this repository. It is deliberately small: two-dimensional matrices only,
+// explicit shapes, and no hidden allocation in the hot paths that accept a
+// destination.
+//
+// Vectors are represented as matrices with one row (row vector) or one
+// column (column vector); helper constructors are provided for both.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. All operations that return a new
+// Matrix allocate exactly one backing slice. Methods never retain references
+// to argument matrices.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zero-initialized matrix with the given shape.
+// It panics if rows or cols is negative.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice returns a rows x cols matrix that copies the provided data.
+// It panics if len(data) != rows*cols.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	m := New(rows, cols)
+	copy(m.Data, data)
+	return m
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+// It panics if the rows have differing lengths.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: FromRows row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// RowVector returns a 1 x n matrix copying v.
+func RowVector(v []float64) *Matrix { return FromSlice(1, len(v), v) }
+
+// ColVector returns an n x 1 matrix copying v.
+func ColVector(v []float64) *Matrix { return FromSlice(len(v), 1, v) }
+
+// Full returns a rows x cols matrix with every element set to v.
+func Full(rows, cols int, v float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+	return m
+}
+
+// Eye returns the n x n identity matrix.
+func Eye(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.boundsCheck(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set stores v at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.boundsCheck(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) boundsCheck(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of range for %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+// Mutating the returned slice mutates the matrix.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of range for %dx%d", i, m.Rows, m.Cols))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src into m. The shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.assertSameShape(src, "CopyFrom")
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and b have identical dimensions.
+func (m *Matrix) SameShape(b *Matrix) bool { return m.Rows == b.Rows && m.Cols == b.Cols }
+
+func (m *Matrix) assertSameShape(b *Matrix, op string) {
+	if !m.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Add returns m + b elementwise.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	m.assertSameShape(b, "Add")
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace sets m = m + b and returns m.
+func (m *Matrix) AddInPlace(b *Matrix) *Matrix {
+	m.assertSameShape(b, "AddInPlace")
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+	return m
+}
+
+// AddScaledInPlace sets m = m + s*b and returns m.
+func (m *Matrix) AddScaledInPlace(b *Matrix, s float64) *Matrix {
+	m.assertSameShape(b, "AddScaledInPlace")
+	for i, v := range b.Data {
+		m.Data[i] += s * v
+	}
+	return m
+}
+
+// Sub returns m - b elementwise.
+func (m *Matrix) Sub(b *Matrix) *Matrix {
+	m.assertSameShape(b, "Sub")
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}
+
+// MulElem returns the elementwise (Hadamard) product m ∘ b.
+func (m *Matrix) MulElem(b *Matrix) *Matrix {
+	m.assertSameShape(b, "MulElem")
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v * b.Data[i]
+	}
+	return out
+}
+
+// DivElem returns the elementwise quotient m / b.
+func (m *Matrix) DivElem(b *Matrix) *Matrix {
+	m.assertSameShape(b, "DivElem")
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v / b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s*m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = s * v
+	}
+	return out
+}
+
+// ScaleInPlace sets m = s*m and returns m.
+func (m *Matrix) ScaleInPlace(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddScalar returns m + s applied elementwise.
+func (m *Matrix) AddScalar(s float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v + s
+	}
+	return out
+}
+
+// Apply returns f applied elementwise to m.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// ApplyInPlace applies f elementwise in place and returns m.
+func (m *Matrix) ApplyInPlace(f func(float64) float64) *Matrix {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+	return m
+}
+
+// T returns the transpose of m.
+func (m *Matrix) T() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// AddRowBroadcast returns m with the 1 x Cols row vector b added to each row.
+func (m *Matrix) AddRowBroadcast(b *Matrix) *Matrix {
+	if b.Rows != 1 || b.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowBroadcast wants 1x%d, got %dx%d", m.Cols, b.Rows, b.Cols))
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Data[i*m.Cols : (i+1)*m.Cols]
+		dst := out.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range src {
+			dst[j] = v + b.Data[j]
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for an empty matrix).
+func (m *Matrix) Mean() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.Data))
+}
+
+// Max returns the maximum element. It panics on an empty matrix.
+func (m *Matrix) Max() float64 {
+	if len(m.Data) == 0 {
+		panic("tensor: Max of empty matrix")
+	}
+	mx := m.Data[0]
+	for _, v := range m.Data[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Min returns the minimum element. It panics on an empty matrix.
+func (m *Matrix) Min() float64 {
+	if len(m.Data) == 0 {
+		panic("tensor: Min of empty matrix")
+	}
+	mn := m.Data[0]
+	for _, v := range m.Data[1:] {
+		if v < mn {
+			mn = v
+		}
+	}
+	return mn
+}
+
+// SumRows returns a Rows x 1 column vector whose i-th entry is the sum of row i.
+func (m *Matrix) SumRows() *Matrix {
+	out := New(m.Rows, 1)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for _, v := range m.Row(i) {
+			s += v
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// SumCols returns a 1 x Cols row vector whose j-th entry is the sum of column j.
+func (m *Matrix) SumCols() *Matrix {
+	out := New(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// Norm2 returns the Frobenius (L2) norm of m.
+func (m *Matrix) Norm2() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of two matrices of identical shape,
+// treating them as flat vectors.
+func (m *Matrix) Dot(b *Matrix) float64 {
+	m.assertSameShape(b, "Dot")
+	s := 0.0
+	for i, v := range m.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}
+
+// SoftmaxRows returns a matrix whose rows are the softmax of the rows of m,
+// computed with the max-subtraction trick for numerical stability.
+func (m *Matrix) SoftmaxRows() *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		mx := src[0]
+		for _, v := range src[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		sum := 0.0
+		for j, v := range src {
+			e := math.Exp(v - mx)
+			dst[j] = e
+			sum += e
+		}
+		inv := 1.0 / sum
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// LogSoftmaxRows returns log(softmax) per row, computed stably.
+func (m *Matrix) LogSoftmaxRows() *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		mx := src[0]
+		for _, v := range src[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		sum := 0.0
+		for _, v := range src {
+			sum += math.Exp(v - mx)
+		}
+		lse := mx + math.Log(sum)
+		for j, v := range src {
+			dst[j] = v - lse
+		}
+	}
+	return out
+}
+
+// ApproxEqual reports whether m and b have the same shape and all elements
+// differ by at most tol.
+func (m *Matrix) ApproxEqual(b *Matrix, tol float64) bool {
+	if !m.SameShape(b) {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNaN reports whether any element of m is NaN or infinite.
+func (m *Matrix) HasNaN() bool {
+	for _, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Matrix(%dx%d)[", m.Rows, m.Cols)
+	const maxShow = 8
+	for i := 0; i < m.Rows && i < maxShow; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			if j >= maxShow {
+				b.WriteString(" …")
+				break
+			}
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", v)
+		}
+	}
+	if m.Rows > maxShow {
+		b.WriteString("; …")
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,158 @@
+// Package trace renders experiment output: aligned text tables for the
+// harness stdout and CSV series for plotting. It is intentionally tiny and
+// dependency-free.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table accumulates rows and prints them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are rendered with %v, floats with 4
+// significant digits.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = strconv.FormatFloat(x, 'g', 4, 64)
+		case float32:
+			row[i] = strconv.FormatFloat(float64(x), 'g', 4, 64)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// WriteTo renders the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var total int64
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+		n, err := io.WriteString(w, b.String())
+		total += int64(n)
+		return err
+	}
+	if err := line(t.header); err != nil {
+		return total, err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return total, err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		// strings.Builder never errors; keep vet happy.
+		panic(err)
+	}
+	return b.String()
+}
+
+// Series is a named sequence of (x, y) points, e.g. one convergence curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// NewSeries builds a series from y values with implicit x = 0,1,2,…
+func NewSeries(name string, y []float64) Series {
+	x := make([]float64, len(y))
+	for i := range x {
+		x[i] = float64(i)
+	}
+	return Series{Name: name, X: x, Y: y}
+}
+
+// WriteCSV writes one or more series in long form:
+// series,x,y — one row per point.
+func WriteCSV(w io.Writer, series ...Series) error {
+	if _, err := io.WriteString(w, "series,x,y\n"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("trace: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", csvEscape(s.Name), s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Heatmap prints a labelled matrix (the Figures 11–13 weight heatmaps).
+func Heatmap(w io.Writer, labels []string, m [][]float64) error {
+	t := NewTable(append([]string{""}, labels...)...)
+	for i, row := range m {
+		cells := make([]interface{}, 0, len(row)+1)
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		cells = append(cells, label)
+		for _, v := range row {
+			cells = append(cells, v)
+		}
+		t.AddRow(cells...)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRow("a", 1.23456789)
+	tbl.AddRow("longer-name", 2)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Fatalf("float not rounded to 4 sig digits: %q", out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatal("missing separator")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	s1 := NewSeries("alpha", []float64{1, 2})
+	s2 := Series{Name: "be,ta", X: []float64{0}, Y: []float64{9}}
+	if err := WriteCSV(&b, s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "series,x,y\n") {
+		t.Fatalf("header: %q", out)
+	}
+	if !strings.Contains(out, "alpha,0,1\nalpha,1,2\n") {
+		t.Fatalf("series rows: %q", out)
+	}
+	if !strings.Contains(out, `"be,ta",0,9`) {
+		t.Fatalf("escaping: %q", out)
+	}
+}
+
+func TestWriteCSVLengthMismatch(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, Series{Name: "x", X: []float64{1}, Y: nil})
+	if err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	var b strings.Builder
+	err := Heatmap(&b, []string{"C1", "C2"}, [][]float64{{0.9, 0.1}, {0.2, 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "C1") || !strings.Contains(out, "0.9") {
+		t.Fatalf("heatmap output: %q", out)
+	}
+}
+
+func TestNewSeriesImplicitX(t *testing.T) {
+	s := NewSeries("s", []float64{5, 6, 7})
+	if s.X[2] != 2 {
+		t.Fatal("implicit x wrong")
+	}
+}

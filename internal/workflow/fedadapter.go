@@ -1,0 +1,60 @@
+package workflow
+
+import (
+	"repro/internal/cloudsim"
+	"repro/internal/fed"
+	"repro/internal/rl"
+)
+
+// EpisodeAdapter makes a workflow environment trainable inside a federated
+// client (fed.EpisodeEnv): Begin restarts the episode from the client's
+// fixed workflow set.
+type EpisodeAdapter struct {
+	*Env
+	wfs []Workflow
+}
+
+// NewEpisodeAdapter wraps env with its training workflow set.
+func NewEpisodeAdapter(env *Env, wfs []Workflow) *EpisodeAdapter {
+	return &EpisodeAdapter{Env: env, wfs: wfs}
+}
+
+// Begin implements fed.EpisodeEnv.
+func (a *EpisodeAdapter) Begin() { a.Env.Reset(a.wfs) }
+
+// NewFederatedClient builds a fed.Client that trains on workflow DAGs
+// instead of flat task sets — federated learning of workflow schedulers,
+// the combination of the paper's framework with its stated future work.
+// The returned client's Evaluate method is not meaningful for workflows;
+// use EvaluateWorkflows instead.
+func NewFederatedClient(id int, name string, cfg cloudsim.Config, wfs []Workflow, agent rl.Agent) (*fed.Client, error) {
+	env, err := NewEnv(cfg, wfs)
+	if err != nil {
+		return nil, err
+	}
+	c, err := fed.NewClient(id, name, cfg, nil, agent)
+	if err != nil {
+		return nil, err
+	}
+	c.TrainEnv = NewEpisodeAdapter(env, wfs)
+	return c, nil
+}
+
+// EvaluateWorkflows runs one greedy (feasibility-guarded) episode over the
+// given workflow set and returns the per-workflow records and stage
+// metrics.
+func EvaluateWorkflows(cfg cloudsim.Config, wfs []Workflow, agent rl.MaskedAgent) ([]WorkflowRecord, cloudsim.Metrics, error) {
+	env, err := NewEnv(cfg, wfs)
+	if err != nil {
+		return nil, cloudsim.Metrics{}, err
+	}
+	state := env.Observe(nil)
+	for !env.Done() {
+		env.Step(agent.GreedyMaskedAction(state, env.FeasibleActions()))
+		if !env.Done() {
+			state = env.Observe(state)
+		}
+	}
+	env.Drain()
+	return env.WorkflowRecords(), env.Metrics(), nil
+}

@@ -1,0 +1,268 @@
+// Package workflow extends the scheduling environment to DAG-structured
+// jobs — the paper's stated future work ("we plan to further explore the
+// application of the proposed algorithm on workflow datasets with
+// dependencies", §6).
+//
+// A Workflow is a DAG of stages; a stage becomes schedulable only when all
+// of its dependencies have finished executing. The Env wrapper drives a
+// cloudsim.Env, injecting stages as they are released, and implements
+// rl.Environment so the PPO / dual-critic agents (and the whole federated
+// stack) train on workflow workloads unchanged.
+package workflow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cloudsim"
+	"repro/internal/workload"
+)
+
+// Stage is one node of a workflow DAG. Deps lists the indices of stages
+// that must complete before this stage can be scheduled; a valid workflow
+// is topologically indexed (every dependency index is smaller than the
+// stage's own index), which rules out cycles by construction.
+type Stage struct {
+	CPU      int
+	Mem      float64
+	Duration int
+	Deps     []int
+}
+
+// Workflow is a DAG-structured job arriving as a unit.
+type Workflow struct {
+	ID      int
+	Arrival int
+	Stages  []Stage
+}
+
+// Validate checks topological indexing and stage sanity.
+func (w *Workflow) Validate() error {
+	if len(w.Stages) == 0 {
+		return fmt.Errorf("workflow %d: no stages", w.ID)
+	}
+	for i, s := range w.Stages {
+		if s.CPU < 1 || s.Mem <= 0 || s.Duration < 1 {
+			return fmt.Errorf("workflow %d stage %d: invalid resources (%d cpu, %v mem, %d dur)",
+				w.ID, i, s.CPU, s.Mem, s.Duration)
+		}
+		for _, d := range s.Deps {
+			if d < 0 || d >= i {
+				return fmt.Errorf("workflow %d stage %d: dependency %d not topologically ordered", w.ID, i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// NumStages returns the stage count.
+func (w *Workflow) NumStages() int { return len(w.Stages) }
+
+// CriticalPath returns the length (total duration) of the longest
+// dependency chain — the minimum possible makespan of the workflow on an
+// unbounded cluster.
+func (w *Workflow) CriticalPath() int {
+	finish := make([]int, len(w.Stages))
+	for i, s := range w.Stages {
+		start := 0
+		for _, d := range s.Deps {
+			if finish[d] > start {
+				start = finish[d]
+			}
+		}
+		finish[i] = start + s.Duration
+	}
+	longest := 0
+	for _, f := range finish {
+		if f > longest {
+			longest = f
+		}
+	}
+	return longest
+}
+
+// Roots returns the indices of stages with no dependencies.
+func (w *Workflow) Roots() []int {
+	var roots []int
+	for i, s := range w.Stages {
+		if len(s.Deps) == 0 {
+			roots = append(roots, i)
+		}
+	}
+	return roots
+}
+
+// Shape selects the generator's DAG topology.
+type Shape int
+
+const (
+	// ShapeChain is a linear pipeline s0 → s1 → … → sn.
+	ShapeChain Shape = iota
+	// ShapeForkJoin is one source fanning out to parallel branches that
+	// join into one sink (map-reduce style).
+	ShapeForkJoin
+	// ShapeRandomDAG wires each stage to 1–3 random earlier stages.
+	ShapeRandomDAG
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case ShapeChain:
+		return "chain"
+	case ShapeForkJoin:
+		return "fork-join"
+	case ShapeRandomDAG:
+		return "random-dag"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// GenConfig parameterizes the workflow generator. Stage resource demands
+// are drawn from a workload dataset model so workflow experiments inherit
+// the same cross-client heterogeneity as the task experiments.
+type GenConfig struct {
+	Dataset    workload.DatasetID
+	Shape      Shape
+	MinStages  int
+	MaxStages  int
+	ArrivalGap int // mean slots between workflow arrivals (geometric)
+}
+
+// DefaultGenConfig returns a mid-size fork-join generator over the given
+// dataset model.
+func DefaultGenConfig(dataset workload.DatasetID) GenConfig {
+	return GenConfig{Dataset: dataset, Shape: ShapeForkJoin, MinStages: 3, MaxStages: 8, ArrivalGap: 20}
+}
+
+// Generate samples n workflows with non-decreasing arrivals.
+func Generate(rng *rand.Rand, cfg GenConfig, n int) []Workflow {
+	if cfg.MinStages < 1 || cfg.MaxStages < cfg.MinStages {
+		panic(fmt.Sprintf("workflow: invalid stage bounds [%d,%d]", cfg.MinStages, cfg.MaxStages))
+	}
+	if cfg.ArrivalGap < 1 {
+		cfg.ArrivalGap = 1
+	}
+	model := workload.Lookup(cfg.Dataset)
+	// Draw per-stage resource templates from the dataset model.
+	templates := model.Sample(rng, n*cfg.MaxStages)
+	ti := 0
+	nextTemplate := func() workload.Task {
+		t := templates[ti%len(templates)]
+		ti++
+		return t
+	}
+
+	out := make([]Workflow, 0, n)
+	arrival := 0
+	for id := 0; id < n; id++ {
+		nStages := cfg.MinStages + rng.Intn(cfg.MaxStages-cfg.MinStages+1)
+		w := Workflow{ID: id, Arrival: arrival}
+		for i := 0; i < nStages; i++ {
+			t := nextTemplate()
+			s := Stage{CPU: t.CPU, Mem: t.Mem, Duration: t.Duration}
+			switch cfg.Shape {
+			case ShapeChain:
+				if i > 0 {
+					s.Deps = []int{i - 1}
+				}
+			case ShapeForkJoin:
+				switch {
+				case i == 0:
+					// source
+				case i == nStages-1 && nStages > 2:
+					// sink joins every branch
+					for b := 1; b < nStages-1; b++ {
+						s.Deps = append(s.Deps, b)
+					}
+				default:
+					s.Deps = []int{0}
+				}
+			case ShapeRandomDAG:
+				if i > 0 {
+					nDeps := 1 + rng.Intn(3)
+					if nDeps > i {
+						nDeps = i
+					}
+					seen := map[int]bool{}
+					for len(s.Deps) < nDeps {
+						d := rng.Intn(i)
+						if !seen[d] {
+							seen[d] = true
+							s.Deps = append(s.Deps, d)
+						}
+					}
+				}
+			default:
+				panic("workflow: unknown shape " + cfg.Shape.String())
+			}
+			w.Stages = append(w.Stages, s)
+		}
+		if err := w.Validate(); err != nil {
+			panic("workflow: generator produced invalid workflow: " + err.Error())
+		}
+		out = append(out, w)
+		// Geometric-ish inter-arrival gap with the configured mean.
+		gap := 1
+		for rng.Float64() > 1.0/float64(cfg.ArrivalGap) {
+			gap++
+			if gap > 10*cfg.ArrivalGap {
+				break
+			}
+		}
+		arrival += gap
+	}
+	return out
+}
+
+// ClampToVMs shrinks stage demands so every stage fits at least one VM of
+// the cluster (mirrors cloudsim.ClampTasks: a stage that fits no VM would
+// block the FIFO queue forever). A stage that already fits some VM is
+// unchanged; otherwise it is clamped against the single VM preserving the
+// largest fraction of its request.
+func ClampToVMs(wfs []Workflow, vms []cloudsim.VMSpec) []Workflow {
+	out := make([]Workflow, len(wfs))
+	for i, w := range wfs {
+		nw := w
+		nw.Stages = append([]Stage(nil), w.Stages...)
+		for j := range nw.Stages {
+			s := &nw.Stages[j]
+			if stageFitsAny(*s, vms) {
+				continue
+			}
+			best, bestScore := 0, -1.0
+			for vi, v := range vms {
+				cpuFrac := 1.0
+				if s.CPU > v.CPU {
+					cpuFrac = float64(v.CPU) / float64(s.CPU)
+				}
+				memFrac := 1.0
+				if s.Mem > v.Mem {
+					memFrac = v.Mem / s.Mem
+				}
+				if score := cpuFrac * memFrac; score > bestScore {
+					best, bestScore = vi, score
+				}
+			}
+			v := vms[best]
+			if s.CPU > v.CPU {
+				s.CPU = v.CPU
+			}
+			if s.Mem > v.Mem {
+				s.Mem = v.Mem
+			}
+		}
+		out[i] = nw
+	}
+	return out
+}
+
+func stageFitsAny(s Stage, vms []cloudsim.VMSpec) bool {
+	for _, v := range vms {
+		if s.CPU <= v.CPU && s.Mem <= v.Mem {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,310 @@
+package workflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cloudsim"
+	"repro/internal/rl"
+	"repro/internal/workload"
+)
+
+func chainWorkflow(id, arrival int, durations ...int) Workflow {
+	w := Workflow{ID: id, Arrival: arrival}
+	for i, d := range durations {
+		s := Stage{CPU: 1, Mem: 1, Duration: d}
+		if i > 0 {
+			s.Deps = []int{i - 1}
+		}
+		w.Stages = append(w.Stages, s)
+	}
+	return w
+}
+
+func TestValidate(t *testing.T) {
+	good := chainWorkflow(0, 0, 1, 2, 3)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Workflow{
+		{ID: 1},
+		{ID: 2, Stages: []Stage{{CPU: 0, Mem: 1, Duration: 1}}},
+		{ID: 3, Stages: []Stage{{CPU: 1, Mem: 1, Duration: 1}, {CPU: 1, Mem: 1, Duration: 1, Deps: []int{1}}}},
+		{ID: 4, Stages: []Stage{{CPU: 1, Mem: 1, Duration: 1, Deps: []int{0}}}},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("workflow %d: expected validation error", w.ID)
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	chain := chainWorkflow(0, 0, 2, 3, 4)
+	if got := chain.CriticalPath(); got != 9 {
+		t.Fatalf("chain critical path %d, want 9", got)
+	}
+	// Fork-join: source(1) -> {a(5), b(2)} -> sink(1): critical = 1+5+1.
+	fj := Workflow{Stages: []Stage{
+		{CPU: 1, Mem: 1, Duration: 1},
+		{CPU: 1, Mem: 1, Duration: 5, Deps: []int{0}},
+		{CPU: 1, Mem: 1, Duration: 2, Deps: []int{0}},
+		{CPU: 1, Mem: 1, Duration: 1, Deps: []int{1, 2}},
+	}}
+	if got := fj.CriticalPath(); got != 7 {
+		t.Fatalf("fork-join critical path %d, want 7", got)
+	}
+}
+
+func TestRoots(t *testing.T) {
+	fj := Workflow{Stages: []Stage{
+		{CPU: 1, Mem: 1, Duration: 1},
+		{CPU: 1, Mem: 1, Duration: 1},
+		{CPU: 1, Mem: 1, Duration: 1, Deps: []int{0, 1}},
+	}}
+	roots := fj.Roots()
+	if len(roots) != 2 || roots[0] != 0 || roots[1] != 1 {
+		t.Fatalf("roots %v", roots)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, shape := range []Shape{ShapeChain, ShapeForkJoin, ShapeRandomDAG} {
+		rng := rand.New(rand.NewSource(int64(shape) + 1))
+		cfg := DefaultGenConfig(workload.Google)
+		cfg.Shape = shape
+		wfs := Generate(rng, cfg, 20)
+		if len(wfs) != 20 {
+			t.Fatalf("%v: generated %d", shape, len(wfs))
+		}
+		prev := -1
+		for _, w := range wfs {
+			if err := w.Validate(); err != nil {
+				t.Fatalf("%v: %v", shape, err)
+			}
+			if w.Arrival <= prev {
+				t.Fatalf("%v: arrivals not strictly increasing", shape)
+			}
+			prev = w.Arrival
+			if w.NumStages() < cfg.MinStages || w.NumStages() > cfg.MaxStages {
+				t.Fatalf("%v: stage count %d outside bounds", shape, w.NumStages())
+			}
+			if shape == ShapeChain {
+				for i := 1; i < len(w.Stages); i++ {
+					if len(w.Stages[i].Deps) != 1 || w.Stages[i].Deps[0] != i-1 {
+						t.Fatalf("chain stage %d deps %v", i, w.Stages[i].Deps)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(rand.New(rand.NewSource(1)), GenConfig{MinStages: 3, MaxStages: 2}, 1)
+}
+
+func TestClampToVMs(t *testing.T) {
+	vms := []cloudsim.VMSpec{{CPU: 4, Mem: 8}}
+	wfs := []Workflow{{ID: 0, Stages: []Stage{{CPU: 16, Mem: 32, Duration: 1}}}}
+	out := ClampToVMs(wfs, vms)
+	if out[0].Stages[0].CPU != 4 || out[0].Stages[0].Mem != 8 {
+		t.Fatalf("clamp wrong: %+v", out[0].Stages[0])
+	}
+	if wfs[0].Stages[0].CPU != 16 {
+		t.Fatal("input mutated")
+	}
+}
+
+func envFor(t *testing.T, wfs []Workflow) *Env {
+	t.Helper()
+	cfg := cloudsim.DefaultConfig([]cloudsim.VMSpec{{CPU: 4, Mem: 16}, {CPU: 8, Mem: 32}})
+	env, err := NewEnv(cfg, ClampToVMs(wfs, cfg.VMs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestEnvRespectsDependencies(t *testing.T) {
+	// A 2-stage chain: stage 1 must not be schedulable before stage 0
+	// finishes, even with idle VMs.
+	env := envFor(t, []Workflow{chainWorkflow(0, 0, 3, 2)})
+	if env.Inner().QueueLen() != 1 {
+		t.Fatalf("only the root should be queued, got %d", env.Inner().QueueLen())
+	}
+	env.Step(0) // place stage 0 at t=0, finishes at t=3
+	if env.Inner().QueueLen() != 0 {
+		t.Fatal("stage 1 must not be released while stage 0 runs")
+	}
+	// Wait until the dependency finishes.
+	for env.Inner().Now() < 3 {
+		env.Step(env.WaitAction())
+	}
+	if env.Inner().QueueLen() != 1 {
+		t.Fatalf("stage 1 should be released at t=3, queue=%d", env.Inner().QueueLen())
+	}
+	env.Step(0)
+	if !env.Done() {
+		t.Fatal("all stages placed; episode should end")
+	}
+	env.Drain()
+	recs := env.WorkflowRecords()
+	if len(recs) != 1 {
+		t.Fatalf("workflow records %d", len(recs))
+	}
+	// Chain 3+2 starting at 0 with instant placements: finish at 5.
+	if recs[0].Finish != 5 || recs[0].Response() != 5 {
+		t.Fatalf("workflow finish %d response %d, want 5/5", recs[0].Finish, recs[0].Response())
+	}
+	if recs[0].Stretch() != 1.0 {
+		t.Fatalf("uncontended chain stretch %v, want 1", recs[0].Stretch())
+	}
+}
+
+func TestEnvForkJoinParallelism(t *testing.T) {
+	// source(1) -> {a(4), b(4)} -> sink(1). With two VMs the branches run
+	// in parallel: finish = 1 + 4 + 1 = 6 with eager placement.
+	fj := Workflow{ID: 0, Stages: []Stage{
+		{CPU: 2, Mem: 4, Duration: 1},
+		{CPU: 2, Mem: 4, Duration: 4, Deps: []int{0}},
+		{CPU: 2, Mem: 4, Duration: 4, Deps: []int{0}},
+		{CPU: 2, Mem: 4, Duration: 1, Deps: []int{1, 2}},
+	}}
+	env := envFor(t, []Workflow{fj})
+	policy := cloudsim.FirstFit{}
+	for !env.Done() {
+		// Use the inner env for the heuristic's introspection.
+		env.Step(policy.SelectAction(env.Inner()))
+	}
+	env.Drain()
+	recs := env.WorkflowRecords()
+	if len(recs) != 1 {
+		t.Fatalf("records %d", len(recs))
+	}
+	if recs[0].Finish != 6 {
+		t.Fatalf("fork-join finish %d, want 6 (parallel branches)", recs[0].Finish)
+	}
+}
+
+func TestEnvLateArrival(t *testing.T) {
+	env := envFor(t, []Workflow{chainWorkflow(0, 4, 1)})
+	if env.Inner().QueueLen() != 0 {
+		t.Fatal("workflow must not be admitted before its arrival")
+	}
+	for env.Inner().Now() < 4 {
+		env.Step(env.WaitAction())
+	}
+	if env.Inner().QueueLen() != 1 {
+		t.Fatal("workflow should be admitted at its arrival slot")
+	}
+}
+
+func TestEnvMultipleWorkflowsComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := DefaultGenConfig(workload.Google)
+	cfg.MaxStages = 5
+	wfs := Generate(rng, cfg, 8)
+	env := envFor(t, wfs)
+	policy := cloudsim.FirstFit{}
+	for !env.Done() {
+		env.Step(policy.SelectAction(env.Inner()))
+	}
+	env.Drain()
+	recs := env.WorkflowRecords()
+	if len(recs) != len(wfs) {
+		t.Fatalf("completed %d of %d workflows", len(recs), len(wfs))
+	}
+	for _, r := range recs {
+		if r.Response() < r.Critical {
+			t.Fatalf("workflow %d response %d below critical path %d", r.ID, r.Response(), r.Critical)
+		}
+		if r.Stretch() < 1 {
+			t.Fatalf("stretch %v < 1", r.Stretch())
+		}
+	}
+	m := env.Metrics()
+	if m.Completed != env.TotalStages() {
+		t.Fatalf("stage completion %d/%d", m.Completed, env.TotalStages())
+	}
+}
+
+func TestEnvImplementsRLEnvironment(t *testing.T) {
+	var _ rl.Environment = (*Env)(nil)
+}
+
+func TestPPOTrainsOnWorkflows(t *testing.T) {
+	// End to end: a PPO agent can train on the workflow environment
+	// through the standard rollout loop.
+	rng := rand.New(rand.NewSource(8))
+	cfg := DefaultGenConfig(workload.K8S)
+	cfg.MaxStages = 4
+	wfs := Generate(rng, cfg, 5)
+	env := envFor(t, wfs)
+	agent := rl.NewPPO(rl.DefaultConfig(env.StateDim(), env.NumActions()), rand.New(rand.NewSource(9)))
+	for ep := 0; ep < 3; ep++ {
+		env.Reset(ClampToVMs(wfs, env.Inner().Config().VMs))
+		var buf rl.Buffer
+		rl.CollectEpisode(env, agent, &buf)
+		if buf.Len() == 0 {
+			t.Fatal("no transitions collected")
+		}
+		agent.Update(&buf)
+	}
+}
+
+func TestEnvResetRestoresState(t *testing.T) {
+	wfs := []Workflow{chainWorkflow(0, 0, 2, 2)}
+	env := envFor(t, wfs)
+	env.Step(0)
+	env.Reset(ClampToVMs(wfs, env.Inner().Config().VMs))
+	if env.Inner().Now() != 0 || env.Inner().QueueLen() != 1 {
+		t.Fatal("Reset did not restore the initial release state")
+	}
+	if env.Done() {
+		t.Fatal("fresh episode should not be done")
+	}
+}
+
+func TestPropGeneratedDAGsScheduleable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := GenConfig{
+			Dataset:    workload.AllDatasets()[int(uint64(seed)%10)],
+			Shape:      Shape(int(uint64(seed) % 3)),
+			MinStages:  2,
+			MaxStages:  5,
+			ArrivalGap: 5,
+		}
+		wfs := Generate(rng, cfg, 4)
+		vms := []cloudsim.VMSpec{{CPU: 8, Mem: 64}, {CPU: 16, Mem: 128}}
+		envCfg := cloudsim.DefaultConfig(vms)
+		envCfg.MaxSteps = 100000
+		env, err := NewEnv(envCfg, ClampToVMs(wfs, vms))
+		if err != nil {
+			return false
+		}
+		policy := cloudsim.FirstFit{}
+		for !env.Done() {
+			env.Step(policy.SelectAction(env.Inner()))
+		}
+		env.Drain()
+		return len(env.WorkflowRecords()) == len(wfs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if ShapeChain.String() != "chain" || ShapeForkJoin.String() != "fork-join" ||
+		ShapeRandomDAG.String() != "random-dag" {
+		t.Fatal("shape names wrong")
+	}
+}

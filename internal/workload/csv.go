@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the column layout used by ExportCSV / ImportCSV.
+var csvHeader = []string{"id", "arrival", "cpu", "mem_gib", "duration", "source"}
+
+// ExportCSV writes tasks in a simple trace format so sampled workloads can
+// be inspected, plotted, or replayed by external tools.
+func ExportCSV(w io.Writer, tasks []Task) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, t := range tasks {
+		rec := []string{
+			strconv.Itoa(t.ID),
+			strconv.Itoa(t.Arrival),
+			strconv.Itoa(t.CPU),
+			strconv.FormatFloat(t.Mem, 'g', -1, 64),
+			strconv.Itoa(t.Duration),
+			strconv.Itoa(int(t.Source)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ImportCSV reads a trace written by ExportCSV (or hand-authored with the
+// same header). Real cluster traces can be converted to this format to
+// drive the simulator with non-synthetic workloads.
+func ImportCSV(r io.Reader) ([]Task, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("workload: CSV has %d columns, want %d (%v)", len(header), len(csvHeader), csvHeader)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("workload: CSV column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var tasks []Task
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: CSV line %d: %w", line, err)
+		}
+		t, err := parseCSVTask(rec)
+		if err != nil {
+			return nil, fmt.Errorf("workload: CSV line %d: %w", line, err)
+		}
+		tasks = append(tasks, t)
+	}
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i].Arrival < tasks[i-1].Arrival {
+			return nil, fmt.Errorf("workload: CSV arrivals not sorted at row %d", i)
+		}
+	}
+	return tasks, nil
+}
+
+func parseCSVTask(rec []string) (Task, error) {
+	var t Task
+	var err error
+	if t.ID, err = strconv.Atoi(rec[0]); err != nil {
+		return t, fmt.Errorf("id: %w", err)
+	}
+	if t.Arrival, err = strconv.Atoi(rec[1]); err != nil {
+		return t, fmt.Errorf("arrival: %w", err)
+	}
+	if t.CPU, err = strconv.Atoi(rec[2]); err != nil {
+		return t, fmt.Errorf("cpu: %w", err)
+	}
+	if t.Mem, err = strconv.ParseFloat(rec[3], 64); err != nil {
+		return t, fmt.Errorf("mem: %w", err)
+	}
+	if t.Duration, err = strconv.Atoi(rec[4]); err != nil {
+		return t, fmt.Errorf("duration: %w", err)
+	}
+	src, err := strconv.Atoi(rec[5])
+	if err != nil {
+		return t, fmt.Errorf("source: %w", err)
+	}
+	t.Source = DatasetID(src)
+	switch {
+	case t.Arrival < 0:
+		return t, fmt.Errorf("negative arrival %d", t.Arrival)
+	case t.CPU < 1:
+		return t, fmt.Errorf("non-positive cpu %d", t.CPU)
+	case t.Mem <= 0:
+		return t, fmt.Errorf("non-positive mem %v", t.Mem)
+	case t.Duration < 1:
+		return t, fmt.Errorf("non-positive duration %d", t.Duration)
+	}
+	return t, nil
+}

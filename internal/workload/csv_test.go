@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tasks := SampleDataset(KVM2020, rng, 50)
+	var b strings.Builder
+	if err := ExportCSV(&b, tasks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tasks) {
+		t.Fatalf("round trip lost tasks: %d vs %d", len(got), len(tasks))
+	}
+	for i := range tasks {
+		if got[i] != tasks[i] {
+			t.Fatalf("task %d changed: %+v vs %+v", i, got[i], tasks[i])
+		}
+	}
+}
+
+func TestImportCSVRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"wrong header":    "a,b,c,d,e,f\n1,1,1,1,1,0\n",
+		"missing columns": "id,arrival,cpu\n1,1,1\n",
+		"bad int":         "id,arrival,cpu,mem_gib,duration,source\nx,1,1,1,1,0\n",
+		"bad float":       "id,arrival,cpu,mem_gib,duration,source\n1,1,1,x,1,0\n",
+		"negative cpu":    "id,arrival,cpu,mem_gib,duration,source\n1,1,0,1,1,0\n",
+		"zero duration":   "id,arrival,cpu,mem_gib,duration,source\n1,1,1,1,0,0\n",
+		"neg arrival":     "id,arrival,cpu,mem_gib,duration,source\n1,-1,1,1,1,0\n",
+		"unsorted":        "id,arrival,cpu,mem_gib,duration,source\n0,5,1,1,1,0\n1,3,1,1,1,0\n",
+	}
+	for name, input := range cases {
+		if _, err := ImportCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestImportCSVEmptyBody(t *testing.T) {
+	got, err := ImportCSV(strings.NewReader("id,arrival,cpu,mem_gib,duration,source\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("expected empty task list")
+	}
+}

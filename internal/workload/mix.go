@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Split partitions tasks into a training set (the first trainFrac of the
+// set, preserving order) and a test set (the remainder), matching the
+// paper's 60/40 split (§3.1). Arrival times in the test set are rebased so
+// the first test task arrives at slot 0.
+func Split(tasks []Task, trainFrac float64) (train, test []Task) {
+	n := int(float64(len(tasks)) * trainFrac)
+	if n < 0 {
+		n = 0
+	}
+	if n > len(tasks) {
+		n = len(tasks)
+	}
+	train = append([]Task(nil), tasks[:n]...)
+	test = Rebase(tasks[n:])
+	return train, test
+}
+
+// Rebase returns a copy of tasks with IDs renumbered from zero and arrivals
+// shifted so the earliest arrival is slot 0. Input order is preserved.
+func Rebase(tasks []Task) []Task {
+	out := append([]Task(nil), tasks...)
+	if len(out) == 0 {
+		return out
+	}
+	minArr := out[0].Arrival
+	for _, t := range out {
+		if t.Arrival < minArr {
+			minArr = t.Arrival
+		}
+	}
+	for i := range out {
+		out[i].Arrival -= minArr
+		out[i].ID = i
+	}
+	return out
+}
+
+// Combine merges several task sets into one heterogeneous set ordered by
+// arrival slot (the paper's heter-train / heter-test construction, §3.1).
+// Ties keep the input ordering, and the result is rebased.
+func Combine(sets ...[]Task) []Task {
+	var all []Task
+	for _, s := range sets {
+		all = append(all, s...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Arrival < all[j].Arrival })
+	return Rebase(all)
+}
+
+// HybridMix builds the generalization test set of §5.3 for one client:
+// nativeFrac of the tasks keep the client's own dataset distribution, and
+// the rest are drawn uniformly from the other datasets in others. The
+// result is arrival-ordered and rebased.
+func HybridMix(rng *rand.Rand, native DatasetID, others []DatasetID, n int, nativeFrac float64) []Task {
+	nNative := int(float64(n) * nativeFrac)
+	if nNative > n {
+		nNative = n
+	}
+	sets := [][]Task{SampleDataset(native, rng, nNative)}
+	remaining := n - nNative
+	if len(others) > 0 && remaining > 0 {
+		per := remaining / len(others)
+		extra := remaining % len(others)
+		for i, id := range others {
+			k := per
+			if i < extra {
+				k++
+			}
+			if k > 0 {
+				sets = append(sets, SampleDataset(id, rng, k))
+			}
+		}
+	}
+	return Combine(sets...)
+}
+
+// Subsample draws k tasks uniformly without replacement (preserving arrival
+// order) and rebases the result. If k >= len(tasks) a rebased copy of the
+// whole set is returned.
+func Subsample(rng *rand.Rand, tasks []Task, k int) []Task {
+	if k >= len(tasks) {
+		return Rebase(tasks)
+	}
+	idx := rng.Perm(len(tasks))[:k]
+	sort.Ints(idx)
+	out := make([]Task, 0, k)
+	for _, i := range idx {
+		out = append(out, tasks[i])
+	}
+	return Rebase(out)
+}
