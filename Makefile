@@ -1,0 +1,36 @@
+# Developer targets for the PFRL-DM reproduction.
+#
+#   make ci      - the full pre-merge smoke check: vet, build, race-enabled
+#                  tests, and one iteration of each perf microbenchmark
+#   make test    - plain test suite (tier-1 gate)
+#   make bench   - full benchmark runs with allocation reporting
+#   make perf    - the CLI perf experiment, writing BENCH_<name>.json
+
+GO ?= go
+
+.PHONY: ci vet build test race bench perf
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of each microbenchmark: catches panics/regressions in the
+# bench harness itself without paying for a full measurement run.
+bench-smoke:
+	$(GO) test ./internal/rl/ -run xxx -bench 'BenchmarkRolloutStep|BenchmarkPPOUpdate' -benchtime=1x -benchmem
+
+bench:
+	$(GO) test ./internal/rl/ -run xxx -bench 'BenchmarkRolloutStep|BenchmarkPPOUpdate' -benchmem
+
+perf:
+	$(GO) run ./cmd/pfrl-bench -exp perf -benchdir .

@@ -11,6 +11,8 @@
 //
 // Experiments: fig7 fig8 fig9 fig10 fig11 fig15 fig16 table4 fig20 fig21
 // ablation (fig11 also prints figs 12–13; fig16 also prints figs 17–19).
+// The extra "perf" experiment benchmarks the rollout/update hot loops and,
+// with -benchdir, writes machine-readable BENCH_<name>.json artifacts.
 package main
 
 import (
@@ -35,13 +37,14 @@ type benchConfig struct {
 	comm     int
 	smooth   int
 	csvDir   string
+	benchDir string
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pfrl-bench: ")
 	var (
-		exp      = flag.String("exp", "", "experiment id (fig7 fig8 fig9 fig10 fig11 fig15 fig16 table4 fig20 fig21 ablation all)")
+		exp      = flag.String("exp", "", "experiment id (fig7 fig8 fig9 fig10 fig11 fig15 fig16 table4 fig20 fig21 ablation perf all)")
 		seed     = flag.Int64("seed", 1, "experiment seed")
 		scale    = flag.Int("scale", 4, "VM capacity divisor (1 = paper scale)")
 		tasks    = flag.Int("tasks", 100, "tasks per client (paper: 3500)")
@@ -49,16 +52,19 @@ func main() {
 		comm     = flag.Int("comm", 5, "communication frequency (paper: 15-25)")
 		smooth   = flag.Int("smooth", 5, "moving-average window for printed curves")
 		csvDir   = flag.String("csv", "", "also write raw curve series as CSV files into this directory")
+		benchDir = flag.String("benchdir", "", "write perf results as BENCH_<name>.json files into this directory")
 	)
 	flag.Parse()
 	if *exp == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	bc := benchConfig{seed: *seed, scale: *scale, tasks: *tasks, episodes: *episodes, comm: *comm, smooth: *smooth, csvDir: *csvDir}
-	if bc.csvDir != "" {
-		if err := os.MkdirAll(bc.csvDir, 0o755); err != nil {
-			log.Fatal(err)
+	bc := benchConfig{seed: *seed, scale: *scale, tasks: *tasks, episodes: *episodes, comm: *comm, smooth: *smooth, csvDir: *csvDir, benchDir: *benchDir}
+	for _, dir := range []string{bc.csvDir, bc.benchDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 
@@ -108,6 +114,8 @@ func run(id string, bc benchConfig) error {
 		return runFig21(bc)
 	case "ablation":
 		return runAblation(bc)
+	case "perf":
+		return runPerf(bc)
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rl"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// The perf experiment exercises the two hot loops of every figure in this
+// repository — per-step policy inference and the PPO minibatch update — at
+// the paper's model scale (≈538-feature observations, 9 placement actions,
+// one 64-unit hidden layer) and reports wall time and allocation behaviour.
+// It is the CLI twin of internal/rl's BenchmarkRolloutStep/BenchmarkPPOUpdate
+// so the numbers quoted in DESIGN.md can be regenerated without the test
+// harness.
+const (
+	perfStateDim = 538
+	perfActions  = 9
+	perfHorizon  = 64
+	perfBuffer   = 256
+)
+
+// benchResult is the schema of the BENCH_<name>.json artifacts.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	StateDim    int     `json:"state_dim"`
+	NumActions  int     `json:"num_actions"`
+}
+
+func perfAgent(seed int64) *rl.PPO {
+	return rl.NewPPO(rl.DefaultConfig(perfStateDim, perfActions), rand.New(rand.NewSource(seed)))
+}
+
+func benchRolloutStep(b *testing.B) {
+	env := rl.NewSyntheticEnv(perfStateDim, perfActions, perfHorizon, 1)
+	agent := perfAgent(2)
+	step := func(state []float64) []float64 {
+		state = env.Observe(state)
+		action, _ := agent.SelectAction(state)
+		_ = agent.Value(state)
+		_ = env.Step(action)
+		if env.Done() {
+			env.Reset()
+		}
+		return state
+	}
+	var state []float64
+	for i := 0; i < 16; i++ {
+		state = step(state)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		state = step(state)
+	}
+}
+
+func benchPPOUpdate(b *testing.B) {
+	env := rl.NewSyntheticEnv(perfStateDim, perfActions, perfHorizon, 3)
+	agent := perfAgent(4)
+	var buf rl.Buffer
+	for buf.Len() < perfBuffer {
+		env.Reset()
+		rl.CollectEpisode(env, agent, &buf)
+	}
+	agent.Update(&buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Update(&buf)
+	}
+}
+
+func runPerf(bc benchConfig) error {
+	fmt.Println("Performance: rollout fast path and pooled PPO update")
+	fmt.Printf("model: %d features -> 64 -> %d actions, update over %d transitions\n",
+		perfStateDim, perfActions, perfBuffer)
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"RolloutStep", benchRolloutStep},
+		{"PPOUpdate", benchPPOUpdate},
+	}
+	t := trace.NewTable("benchmark", "iters", "ns/op", "allocs/op", "B/op")
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		res := benchResult{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			StateDim:    perfStateDim,
+			NumActions:  perfActions,
+		}
+		t.AddRow(res.Name, res.Iterations, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		bc.writeBenchJSON(res)
+	}
+	fmt.Print(t.String())
+	gets, hits := tensor.DefaultPool().Stats()
+	if gets > 0 {
+		fmt.Printf("tensor pool: %d gets, %d recycled (%.1f%% hit rate)\n",
+			gets, hits, 100*float64(hits)/float64(gets))
+	}
+	return nil
+}
+
+// writeBenchJSON dumps one benchmark result as BENCH_<name>.json when
+// -benchdir is set; errors are fatal like writeCSV's.
+func (bc benchConfig) writeBenchJSON(res benchResult) {
+	if bc.benchDir == "" {
+		return
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(bc.benchDir, "BENCH_"+res.Name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(wrote %s)\n", path)
+}

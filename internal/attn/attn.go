@@ -80,15 +80,31 @@ func (a *Aggregator) Weights(embeddings [][]float64) [][]float64 {
 	if temp <= 0 {
 		temp = 1
 	}
+	// Per-head temporaries come from the shared tensor pool: the projection
+	// alone is dim x dk (dim = the flattened critic, tens of thousands of
+	// floats), so K heads per round would otherwise churn sizable garbage
+	// every aggregation. The draws and kernels match the historical
+	// RandNormal/MatMul/Scale/SoftmaxRows path operation-for-operation, so
+	// the weights are bitwise unchanged.
+	p := tensor.Get(dim, dk)
+	q := tensor.Get(k, dk)
+	scores := tensor.Get(k, k)
 	for h := 0; h < heads; h++ {
 		// Q and K share the head projection so scores approximate drift
 		// inner products (see package comment).
 		rng := rand.New(rand.NewSource(a.Seed*1_000_003 + int64(h)))
-		p := tensor.RandNormal(rng, dim, dk, 0, 1)
-		q := x.MatMul(p) // K x dk
-		scores := q.MatMulTransB(q).Scale(1 / (math.Sqrt(float64(dk)) * temp))
-		acc.AddInPlace(scores.SoftmaxRows())
+		for i := range p.Data {
+			p.Data[i] = rng.NormFloat64()
+		}
+		x.MatMulInto(p, q) // K x dk
+		q.MatMulTransBInto(q, scores)
+		scores.ScaleInto(1/(math.Sqrt(float64(dk))*temp), scores)
+		scores.SoftmaxRowsInto(scores)
+		acc.AddInPlace(scores)
 	}
+	tensor.Put(p)
+	tensor.Put(q)
+	tensor.Put(scores)
 	acc.ScaleInPlace(1 / float64(heads))
 	return toRows(acc)
 }

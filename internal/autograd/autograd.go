@@ -16,6 +16,19 @@
 //	y := autograd.Tanh(autograd.MatMul(x, w))
 //	loss := autograd.Mean(autograd.Square(autograd.Sub(y, target)))
 //	loss.Backward()                            // weightGrads now holds dLoss/dW
+//
+// Hot loops that rebuild the same graph repeatedly (the PPO minibatch
+// update) should use a pooled tape instead and Reset it between builds:
+//
+//	tape := autograd.NewPooledTape(tensor.DefaultPool())
+//	for each minibatch {
+//		tape.Reset() // recycles nodes and matrices from the previous build
+//		... build graph, Backward, read results ...
+//	}
+//
+// A pooled tape draws every forward result, gradient, and backward
+// temporary from its tensor.Pool and returns them on Reset, so steady-state
+// graph construction allocates nothing.
 package autograd
 
 import (
@@ -33,6 +46,8 @@ type Value struct {
 
 	tape         *Tape
 	requiresGrad bool
+	ownsData     bool // Data came from the tape's pool (op output)
+	ownsGrad     bool // Grad came from the tape's pool (not a Param buffer)
 	back         func()
 }
 
@@ -40,42 +55,124 @@ type Value struct {
 // safe for concurrent use; build one graph per goroutine.
 type Tape struct {
 	nodes []*Value
+	// spare holds recycled Value structs (filled by Reset, drained by node).
+	spare []*Value
+	// scratch holds pooled matrices used by op internals (selection masks)
+	// that must stay live until Backward runs; Reset releases them.
+	scratch []*tensor.Matrix
+	// pool, when non-nil, supplies and recycles every tape-owned matrix.
+	pool *tensor.Pool
 }
 
-// NewTape returns an empty tape.
+// NewTape returns an empty, unpooled tape: every node and matrix is freshly
+// allocated and left to the garbage collector.
 func NewTape() *Tape { return &Tape{} }
+
+// NewPooledTape returns a tape that draws tape-owned matrices (op outputs,
+// gradients, backward temporaries) from pool and returns them on Reset.
+// Reusing one pooled tape across graph builds makes steady-state graph
+// construction allocation-free.
+func NewPooledTape(pool *tensor.Pool) *Tape { return &Tape{pool: pool} }
 
 // Len returns the number of recorded nodes (useful in tests).
 func (t *Tape) Len() int { return len(t.nodes) }
 
-// node registers a freshly computed value on the tape.
-func (t *Tape) node(data *tensor.Matrix, requiresGrad bool, back func()) *Value {
-	v := &Value{Data: data, tape: t, requiresGrad: requiresGrad, back: back}
+// Reset discards the recorded graph and recycles its storage: tape-owned
+// matrices go back to the pool and node structs are kept for reuse. Leaf
+// data (Const/Var/Param) and Param gradient buffers are caller-owned and
+// untouched. Any Value or tape-owned matrix from before the Reset must not
+// be used afterwards.
+func (t *Tape) Reset() {
+	for _, v := range t.nodes {
+		if t.pool != nil {
+			if v.ownsData {
+				t.pool.Put(v.Data)
+			}
+			if v.ownsGrad && v.Grad != nil {
+				t.pool.Put(v.Grad)
+			}
+		}
+		*v = Value{}
+		t.spare = append(t.spare, v)
+	}
+	t.nodes = t.nodes[:0]
+	if t.pool != nil {
+		for _, m := range t.scratch {
+			t.pool.Put(m)
+		}
+	}
+	t.scratch = t.scratch[:0]
+}
+
+// alloc returns a zeroed rows x cols matrix from the tape's pool (or a fresh
+// allocation for unpooled tapes).
+func (t *Tape) alloc(rows, cols int) *tensor.Matrix {
+	if t.pool != nil {
+		return t.pool.Get(rows, cols)
+	}
+	return tensor.New(rows, cols)
+}
+
+// release returns a matrix obtained from alloc once no live node references
+// it (backward temporaries). Unpooled tapes leave it to the GC.
+func (t *Tape) release(m *tensor.Matrix) {
+	if t.pool != nil {
+		t.pool.Put(m)
+	}
+}
+
+// allocScratch returns a pooled matrix that stays live until Reset — used by
+// ops that capture auxiliary state (selection masks) in backward closures.
+func (t *Tape) allocScratch(rows, cols int) *tensor.Matrix {
+	m := t.alloc(rows, cols)
+	t.scratch = append(t.scratch, m)
+	return m
+}
+
+// node registers a value on the tape, recycling a spare Value struct when
+// one is available. ownsData marks data as tape-owned (recycled on Reset).
+func (t *Tape) node(data *tensor.Matrix, requiresGrad, ownsData bool, back func()) *Value {
+	var v *Value
+	if n := len(t.spare); n > 0 {
+		v = t.spare[n-1]
+		t.spare[n-1] = nil
+		t.spare = t.spare[:n-1]
+	} else {
+		v = new(Value)
+	}
+	v.Data, v.tape, v.requiresGrad, v.ownsData, v.back = data, t, requiresGrad, ownsData, back
 	t.nodes = append(t.nodes, v)
 	return v
+}
+
+// opNode allocates a tape-owned output matrix and registers it; the common
+// entry point for operator forward passes.
+func (t *Tape) opNode(rows, cols int, requiresGrad bool) *Value {
+	return t.node(t.alloc(rows, cols), requiresGrad, true, nil)
 }
 
 // Const registers data as a constant leaf: no gradient is computed for it.
 // The matrix is NOT copied; callers must not mutate it while the tape is live.
 func (t *Tape) Const(data *tensor.Matrix) *Value {
-	return t.node(data, false, nil)
+	return t.node(data, false, false, nil)
 }
 
 // Var registers data as a differentiable leaf whose gradient is allocated
-// internally (read it from Value.Grad after Backward).
+// internally (read it from Value.Grad after Backward and before any Reset).
 func (t *Tape) Var(data *tensor.Matrix) *Value {
-	return t.node(data, true, nil)
+	return t.node(data, true, false, nil)
 }
 
 // Param registers data as a differentiable leaf whose gradient accumulates
 // into the caller-provided buffer grad (shape must match). This lets
-// optimizers own their gradient storage across steps.
+// optimizers own their gradient storage across steps; Reset never recycles
+// a Param's gradient buffer.
 func (t *Tape) Param(data, grad *tensor.Matrix) *Value {
 	if !data.SameShape(grad) {
 		panic(fmt.Sprintf("autograd: Param grad shape %dx%d != data shape %dx%d",
 			grad.Rows, grad.Cols, data.Rows, data.Cols))
 	}
-	v := t.node(data, true, nil)
+	v := t.node(data, true, false, nil)
 	v.Grad = grad
 	return v
 }
@@ -83,7 +180,8 @@ func (t *Tape) Param(data, grad *tensor.Matrix) *Value {
 // ensureGrad allocates the gradient buffer if needed and returns it.
 func (v *Value) ensureGrad() *tensor.Matrix {
 	if v.Grad == nil {
-		v.Grad = tensor.New(v.Data.Rows, v.Data.Cols)
+		v.Grad = v.tape.alloc(v.Data.Rows, v.Data.Cols)
+		v.ownsGrad = true
 	}
 	return v.Grad
 }

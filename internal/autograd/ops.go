@@ -3,21 +3,34 @@ package autograd
 import (
 	"fmt"
 	"math"
-
-	"repro/internal/tensor"
 )
+
+// Every operator below allocates its forward result through the tape
+// (pool-backed for pooled tapes) and computes it with the tensor package's
+// in-place kernels, which are bitwise identical to the allocating ones.
+// Backward closures draw their temporaries from the tape as well and release
+// them as soon as the gradient has been accumulated, so a pooled tape's
+// backward pass recycles a handful of scratch matrices instead of allocating
+// per node.
 
 // MatMul returns a·b with gradients da += g·bᵀ and db += aᵀ·g.
 func MatMul(a, b *Value) *Value {
 	t := sameTape(a, b)
-	out := t.node(a.Data.MatMul(b.Data), a.requiresGrad || b.requiresGrad, nil)
+	out := t.opNode(a.Data.Rows, b.Data.Cols, a.requiresGrad || b.requiresGrad)
+	a.Data.MatMulInto(b.Data, out.Data)
 	out.back = func() {
 		g := out.Grad
 		if a.requiresGrad {
-			a.accum(g.MatMulTransB(b.Data))
+			tmp := t.alloc(a.Data.Rows, a.Data.Cols)
+			g.MatMulTransBInto(b.Data, tmp)
+			a.accum(tmp)
+			t.release(tmp)
 		}
 		if b.requiresGrad {
-			b.accum(a.Data.MatMulTransA(g))
+			tmp := t.alloc(b.Data.Rows, b.Data.Cols)
+			a.Data.MatMulTransAInto(g, tmp)
+			b.accum(tmp)
+			t.release(tmp)
 		}
 	}
 	return out
@@ -26,7 +39,8 @@ func MatMul(a, b *Value) *Value {
 // Add returns a+b elementwise.
 func Add(a, b *Value) *Value {
 	t := sameTape(a, b)
-	out := t.node(a.Data.Add(b.Data), a.requiresGrad || b.requiresGrad, nil)
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad || b.requiresGrad)
+	a.Data.AddInto(b.Data, out.Data)
 	out.back = func() {
 		a.accum(out.Grad)
 		b.accum(out.Grad)
@@ -37,7 +51,8 @@ func Add(a, b *Value) *Value {
 // Sub returns a-b elementwise.
 func Sub(a, b *Value) *Value {
 	t := sameTape(a, b)
-	out := t.node(a.Data.Sub(b.Data), a.requiresGrad || b.requiresGrad, nil)
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad || b.requiresGrad)
+	a.Data.SubInto(b.Data, out.Data)
 	out.back = func() {
 		a.accum(out.Grad)
 		b.accumScaled(out.Grad, -1)
@@ -48,13 +63,20 @@ func Sub(a, b *Value) *Value {
 // Mul returns the elementwise product a∘b.
 func Mul(a, b *Value) *Value {
 	t := sameTape(a, b)
-	out := t.node(a.Data.MulElem(b.Data), a.requiresGrad || b.requiresGrad, nil)
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad || b.requiresGrad)
+	a.Data.MulElemInto(b.Data, out.Data)
 	out.back = func() {
 		if a.requiresGrad {
-			a.accum(out.Grad.MulElem(b.Data))
+			tmp := t.alloc(out.Data.Rows, out.Data.Cols)
+			out.Grad.MulElemInto(b.Data, tmp)
+			a.accum(tmp)
+			t.release(tmp)
 		}
 		if b.requiresGrad {
-			b.accum(out.Grad.MulElem(a.Data))
+			tmp := t.alloc(out.Data.Rows, out.Data.Cols)
+			out.Grad.MulElemInto(a.Data, tmp)
+			b.accum(tmp)
+			t.release(tmp)
 		}
 	}
 	return out
@@ -63,16 +85,23 @@ func Mul(a, b *Value) *Value {
 // Div returns the elementwise quotient a/b.
 func Div(a, b *Value) *Value {
 	t := sameTape(a, b)
-	out := t.node(a.Data.DivElem(b.Data), a.requiresGrad || b.requiresGrad, nil)
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad || b.requiresGrad)
+	a.Data.DivElemInto(b.Data, out.Data)
 	out.back = func() {
 		if a.requiresGrad {
-			a.accum(out.Grad.DivElem(b.Data))
+			tmp := t.alloc(out.Data.Rows, out.Data.Cols)
+			out.Grad.DivElemInto(b.Data, tmp)
+			a.accum(tmp)
+			t.release(tmp)
 		}
 		if b.requiresGrad {
 			// d/db (a/b) = -a/b²
-			d := out.Grad.MulElem(a.Data)
-			d = d.DivElem(b.Data).DivElem(b.Data)
-			b.accumScaled(d, -1)
+			tmp := t.alloc(out.Data.Rows, out.Data.Cols)
+			out.Grad.MulElemInto(a.Data, tmp)
+			tmp.DivElemInto(b.Data, tmp)
+			tmp.DivElemInto(b.Data, tmp)
+			b.accumScaled(tmp, -1)
+			t.release(tmp)
 		}
 	}
 	return out
@@ -81,11 +110,15 @@ func Div(a, b *Value) *Value {
 // AddRow adds a 1xC bias row vector to every row of a (a dense layer bias).
 func AddRow(a, bias *Value) *Value {
 	t := sameTape(a, bias)
-	out := t.node(a.Data.AddRowBroadcast(bias.Data), a.requiresGrad || bias.requiresGrad, nil)
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad || bias.requiresGrad)
+	a.Data.AddRowBroadcastInto(bias.Data, out.Data)
 	out.back = func() {
 		a.accum(out.Grad)
 		if bias.requiresGrad {
-			bias.accum(out.Grad.SumCols())
+			tmp := t.alloc(1, out.Data.Cols)
+			out.Grad.SumColsInto(tmp)
+			bias.accum(tmp)
+			t.release(tmp)
 		}
 	}
 	return out
@@ -93,14 +126,18 @@ func AddRow(a, bias *Value) *Value {
 
 // Scale returns s·a.
 func Scale(a *Value, s float64) *Value {
-	out := a.tape.node(a.Data.Scale(s), a.requiresGrad, nil)
+	t := a.tape
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
+	a.Data.ScaleInto(s, out.Data)
 	out.back = func() { a.accumScaled(out.Grad, s) }
 	return out
 }
 
 // AddScalar returns a + s elementwise.
 func AddScalar(a *Value, s float64) *Value {
-	out := a.tape.node(a.Data.AddScalar(s), a.requiresGrad, nil)
+	t := a.tape
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
+	a.Data.AddScalarInto(s, out.Data)
 	out.back = func() { a.accum(out.Grad) }
 	return out
 }
@@ -110,77 +147,113 @@ func Neg(a *Value) *Value { return Scale(a, -1) }
 
 // Tanh returns tanh(a) elementwise.
 func Tanh(a *Value) *Value {
-	out := a.tape.node(a.Data.Apply(math.Tanh), a.requiresGrad, nil)
+	t := a.tape
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
+	a.Data.ApplyInto(math.Tanh, out.Data)
 	out.back = func() {
 		// d tanh = 1 - tanh²
-		d := out.Data.Apply(func(y float64) float64 { return 1 - y*y })
-		a.accum(out.Grad.MulElem(d))
+		tmp := t.alloc(out.Data.Rows, out.Data.Cols)
+		out.Data.ApplyInto(func(y float64) float64 { return 1 - y*y }, tmp)
+		out.Grad.MulElemInto(tmp, tmp)
+		a.accum(tmp)
+		t.release(tmp)
 	}
 	return out
 }
 
 // ReLU returns max(a, 0) elementwise.
 func ReLU(a *Value) *Value {
-	out := a.tape.node(a.Data.Apply(func(x float64) float64 {
+	t := a.tape
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
+	a.Data.ApplyInto(func(x float64) float64 {
 		if x > 0 {
 			return x
 		}
 		return 0
-	}), a.requiresGrad, nil)
+	}, out.Data)
 	out.back = func() {
-		d := tensor.New(a.Data.Rows, a.Data.Cols)
+		tmp := t.alloc(a.Data.Rows, a.Data.Cols) // zeroed
 		for i, x := range a.Data.Data {
 			if x > 0 {
-				d.Data[i] = out.Grad.Data[i]
+				tmp.Data[i] = out.Grad.Data[i]
 			}
 		}
-		a.accum(d)
+		a.accum(tmp)
+		t.release(tmp)
 	}
 	return out
 }
 
 // Sigmoid returns 1/(1+e^{-a}) elementwise.
 func Sigmoid(a *Value) *Value {
-	out := a.tape.node(a.Data.Apply(func(x float64) float64 {
+	t := a.tape
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
+	a.Data.ApplyInto(func(x float64) float64 {
 		return 1 / (1 + math.Exp(-x))
-	}), a.requiresGrad, nil)
+	}, out.Data)
 	out.back = func() {
-		d := out.Data.Apply(func(y float64) float64 { return y * (1 - y) })
-		a.accum(out.Grad.MulElem(d))
+		tmp := t.alloc(out.Data.Rows, out.Data.Cols)
+		out.Data.ApplyInto(func(y float64) float64 { return y * (1 - y) }, tmp)
+		out.Grad.MulElemInto(tmp, tmp)
+		a.accum(tmp)
+		t.release(tmp)
 	}
 	return out
 }
 
 // Exp returns e^a elementwise.
 func Exp(a *Value) *Value {
-	out := a.tape.node(a.Data.Apply(math.Exp), a.requiresGrad, nil)
-	out.back = func() { a.accum(out.Grad.MulElem(out.Data)) }
+	t := a.tape
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
+	a.Data.ApplyInto(math.Exp, out.Data)
+	out.back = func() {
+		tmp := t.alloc(out.Data.Rows, out.Data.Cols)
+		out.Grad.MulElemInto(out.Data, tmp)
+		a.accum(tmp)
+		t.release(tmp)
+	}
 	return out
 }
 
 // Log returns ln(a) elementwise. Behaviour for non-positive inputs follows
 // math.Log (NaN / -Inf); callers are expected to keep inputs positive.
 func Log(a *Value) *Value {
-	out := a.tape.node(a.Data.Apply(math.Log), a.requiresGrad, nil)
-	out.back = func() { a.accum(out.Grad.DivElem(a.Data)) }
+	t := a.tape
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
+	a.Data.ApplyInto(math.Log, out.Data)
+	out.back = func() {
+		tmp := t.alloc(out.Data.Rows, out.Data.Cols)
+		out.Grad.DivElemInto(a.Data, tmp)
+		a.accum(tmp)
+		t.release(tmp)
+	}
 	return out
 }
 
 // Square returns a² elementwise.
 func Square(a *Value) *Value {
-	out := a.tape.node(a.Data.Apply(func(x float64) float64 { return x * x }), a.requiresGrad, nil)
+	t := a.tape
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
+	a.Data.ApplyInto(func(x float64) float64 { return x * x }, out.Data)
 	out.back = func() {
-		d := out.Grad.MulElem(a.Data)
-		a.accumScaled(d, 2)
+		tmp := t.alloc(out.Data.Rows, out.Data.Cols)
+		out.Grad.MulElemInto(a.Data, tmp)
+		a.accumScaled(tmp, 2)
+		t.release(tmp)
 	}
 	return out
 }
 
 // Sum returns the 1x1 sum of all elements of a.
 func Sum(a *Value) *Value {
-	out := a.tape.node(tensor.FromSlice(1, 1, []float64{a.Data.Sum()}), a.requiresGrad, nil)
+	t := a.tape
+	out := t.opNode(1, 1, a.requiresGrad)
+	out.Data.Data[0] = a.Data.Sum()
 	out.back = func() {
-		a.accum(tensor.Full(a.Data.Rows, a.Data.Cols, out.Grad.Data[0]))
+		tmp := t.alloc(a.Data.Rows, a.Data.Cols)
+		tmp.Fill(out.Grad.Data[0])
+		a.accum(tmp)
+		t.release(tmp)
 	}
 	return out
 }
@@ -191,9 +264,14 @@ func Mean(a *Value) *Value {
 	if n == 0 {
 		panic("autograd: Mean of empty value")
 	}
-	out := a.tape.node(tensor.FromSlice(1, 1, []float64{a.Data.Mean()}), a.requiresGrad, nil)
+	t := a.tape
+	out := t.opNode(1, 1, a.requiresGrad)
+	out.Data.Data[0] = a.Data.Mean()
 	out.back = func() {
-		a.accum(tensor.Full(a.Data.Rows, a.Data.Cols, out.Grad.Data[0]/float64(n)))
+		tmp := t.alloc(a.Data.Rows, a.Data.Cols)
+		tmp.Fill(out.Grad.Data[0] / float64(n))
+		a.accum(tmp)
+		t.release(tmp)
 	}
 	return out
 }
@@ -207,22 +285,24 @@ func Minimum(a, b *Value) *Value {
 		panic(fmt.Sprintf("autograd: Minimum shape mismatch %dx%d vs %dx%d",
 			a.Data.Rows, a.Data.Cols, b.Data.Rows, b.Data.Cols))
 	}
-	data := tensor.New(a.Data.Rows, a.Data.Cols)
-	fromA := make([]bool, len(data.Data))
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad || b.requiresGrad)
+	data := out.Data
+	// fromA[i] == 1 marks elements taken from a; kept as tape scratch so the
+	// backward closure can route gradients without holding heap garbage.
+	fromA := t.allocScratch(a.Data.Rows, a.Data.Cols)
 	for i := range data.Data {
 		if a.Data.Data[i] <= b.Data.Data[i] {
 			data.Data[i] = a.Data.Data[i]
-			fromA[i] = true
+			fromA.Data[i] = 1
 		} else {
 			data.Data[i] = b.Data.Data[i]
 		}
 	}
-	out := t.node(data, a.requiresGrad || b.requiresGrad, nil)
 	out.back = func() {
-		da := tensor.New(data.Rows, data.Cols)
-		db := tensor.New(data.Rows, data.Cols)
-		for i, fa := range fromA {
-			if fa {
+		da := t.alloc(data.Rows, data.Cols)
+		db := t.alloc(data.Rows, data.Cols)
+		for i, fa := range fromA.Data {
+			if fa == 1 {
 				da.Data[i] = out.Grad.Data[i]
 			} else {
 				db.Data[i] = out.Grad.Data[i]
@@ -230,6 +310,8 @@ func Minimum(a, b *Value) *Value {
 		}
 		a.accum(da)
 		b.accum(db)
+		t.release(da)
+		t.release(db)
 	}
 	return out
 }
@@ -238,8 +320,10 @@ func Minimum(a, b *Value) *Value {
 // passed through inside the interval and zero outside (the straight-through
 // behaviour PyTorch's clamp has, which PPO's clipped objective relies on).
 func Clamp(a *Value, lo, hi float64) *Value {
-	data := tensor.New(a.Data.Rows, a.Data.Cols)
-	inside := make([]bool, len(data.Data))
+	t := a.tape
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
+	data := out.Data
+	inside := t.allocScratch(a.Data.Rows, a.Data.Cols)
 	for i, x := range a.Data.Data {
 		switch {
 		case x < lo:
@@ -248,29 +332,31 @@ func Clamp(a *Value, lo, hi float64) *Value {
 			data.Data[i] = hi
 		default:
 			data.Data[i] = x
-			inside[i] = true
+			inside.Data[i] = 1
 		}
 	}
-	out := a.tape.node(data, a.requiresGrad, nil)
 	out.back = func() {
-		d := tensor.New(data.Rows, data.Cols)
-		for i, in := range inside {
-			if in {
-				d.Data[i] = out.Grad.Data[i]
+		tmp := t.alloc(data.Rows, data.Cols)
+		for i, in := range inside.Data {
+			if in == 1 {
+				tmp.Data[i] = out.Grad.Data[i]
 			}
 		}
-		a.accum(d)
+		a.accum(tmp)
+		t.release(tmp)
 	}
 	return out
 }
 
 // SoftmaxRows applies a numerically stable softmax to each row of a.
 func SoftmaxRows(a *Value) *Value {
-	s := a.Data.SoftmaxRows()
-	out := a.tape.node(s, a.requiresGrad, nil)
+	t := a.tape
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
+	s := out.Data
+	a.Data.SoftmaxRowsInto(s)
 	out.back = func() {
 		// dx = s ∘ (g - rowdot(g, s))
-		d := tensor.New(s.Rows, s.Cols)
+		tmp := t.alloc(s.Rows, s.Cols)
 		for i := 0; i < s.Rows; i++ {
 			srow := s.Row(i)
 			grow := out.Grad.Row(i)
@@ -278,23 +364,26 @@ func SoftmaxRows(a *Value) *Value {
 			for j := range srow {
 				dot += srow[j] * grow[j]
 			}
-			drow := d.Row(i)
+			drow := tmp.Row(i)
 			for j := range srow {
 				drow[j] = srow[j] * (grow[j] - dot)
 			}
 		}
-		a.accum(d)
+		a.accum(tmp)
+		t.release(tmp)
 	}
 	return out
 }
 
 // LogSoftmaxRows applies a numerically stable log-softmax to each row of a.
 func LogSoftmaxRows(a *Value) *Value {
-	ls := a.Data.LogSoftmaxRows()
-	out := a.tape.node(ls, a.requiresGrad, nil)
+	t := a.tape
+	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
+	ls := out.Data
+	a.Data.LogSoftmaxRowsInto(ls)
 	out.back = func() {
 		// dx = g - softmax ∘ rowsum(g)
-		d := tensor.New(ls.Rows, ls.Cols)
+		tmp := t.alloc(ls.Rows, ls.Cols)
 		for i := 0; i < ls.Rows; i++ {
 			lrow := ls.Row(i)
 			grow := out.Grad.Row(i)
@@ -302,53 +391,60 @@ func LogSoftmaxRows(a *Value) *Value {
 			for _, g := range grow {
 				gsum += g
 			}
-			drow := d.Row(i)
+			drow := tmp.Row(i)
 			for j := range lrow {
 				drow[j] = grow[j] - math.Exp(lrow[j])*gsum
 			}
 		}
-		a.accum(d)
+		a.accum(tmp)
+		t.release(tmp)
 	}
 	return out
 }
 
 // PickCols returns an Nx1 column whose i-th entry is a[i, idx[i]].
 // It is used to select the log-probability of the action actually taken.
+// The tape captures idx without copying; callers must not mutate it until
+// after Backward (or the next Reset).
 func PickCols(a *Value, idx []int) *Value {
 	if len(idx) != a.Data.Rows {
 		panic(fmt.Sprintf("autograd: PickCols got %d indices for %d rows", len(idx), a.Data.Rows))
 	}
-	data := tensor.New(a.Data.Rows, 1)
+	t := a.tape
+	out := t.opNode(a.Data.Rows, 1, a.requiresGrad)
 	for i, j := range idx {
 		if j < 0 || j >= a.Data.Cols {
 			panic(fmt.Sprintf("autograd: PickCols index %d out of range [0,%d)", j, a.Data.Cols))
 		}
-		data.Data[i] = a.Data.At(i, j)
+		out.Data.Data[i] = a.Data.At(i, j)
 	}
-	out := a.tape.node(data, a.requiresGrad, nil)
 	out.back = func() {
-		d := tensor.New(a.Data.Rows, a.Data.Cols)
+		tmp := t.alloc(a.Data.Rows, a.Data.Cols)
 		for i, j := range idx {
-			d.Set(i, j, out.Grad.Data[i])
+			tmp.Set(i, j, out.Grad.Data[i])
 		}
-		a.accum(d)
+		a.accum(tmp)
+		t.release(tmp)
 	}
 	return out
 }
 
 // SumRows returns an Nx1 column of per-row sums.
 func SumRows(a *Value) *Value {
-	out := a.tape.node(a.Data.SumRows(), a.requiresGrad, nil)
+	t := a.tape
+	out := t.opNode(a.Data.Rows, 1, a.requiresGrad)
+	a.Data.SumRowsInto(out.Data)
 	out.back = func() {
-		d := tensor.New(a.Data.Rows, a.Data.Cols)
+		tmp := t.alloc(a.Data.Rows, a.Data.Cols)
 		for i := 0; i < a.Data.Rows; i++ {
 			g := out.Grad.Data[i]
-			drow := d.Row(i)
+			drow := tmp.Row(i)
 			for j := range drow {
 				drow[j] = g
 			}
 		}
-		a.accum(d)
+		a.accum(tmp)
+		t.release(tmp)
 	}
 	return out
 }
@@ -360,26 +456,28 @@ func ConcatCols(a, b *Value) *Value {
 		panic(fmt.Sprintf("autograd: ConcatCols row mismatch %d vs %d", a.Data.Rows, b.Data.Rows))
 	}
 	n, ca, cb := a.Data.Rows, a.Data.Cols, b.Data.Cols
-	data := tensor.New(n, ca+cb)
+	out := t.opNode(n, ca+cb, a.requiresGrad || b.requiresGrad)
+	data := out.Data
 	for i := 0; i < n; i++ {
 		copy(data.Row(i)[:ca], a.Data.Row(i))
 		copy(data.Row(i)[ca:], b.Data.Row(i))
 	}
-	out := t.node(data, a.requiresGrad || b.requiresGrad, nil)
 	out.back = func() {
 		if a.requiresGrad {
-			da := tensor.New(n, ca)
+			da := t.alloc(n, ca)
 			for i := 0; i < n; i++ {
 				copy(da.Row(i), out.Grad.Row(i)[:ca])
 			}
 			a.accum(da)
+			t.release(da)
 		}
 		if b.requiresGrad {
-			db := tensor.New(n, cb)
+			db := t.alloc(n, cb)
 			for i := 0; i < n; i++ {
 				copy(db.Row(i), out.Grad.Row(i)[ca:])
 			}
 			b.accum(db)
+			t.release(db)
 		}
 	}
 	return out

@@ -14,6 +14,7 @@ import (
 	"repro/internal/cloudsim"
 	"repro/internal/fed"
 	"repro/internal/rl"
+	"repro/internal/tensor"
 	"repro/internal/workload"
 )
 
@@ -286,6 +287,20 @@ type TrainResult struct {
 	// (the paper's Figure 8/15 convergence series).
 	MeanCurve []float64
 	Data      []ClientData
+	// PoolGets and PoolRecycled record the shared tensor pool's traffic
+	// (requests and free-list hits) during this Train call — the
+	// observability hook behind the perf experiment's hit-rate readout.
+	// Concurrent Train calls share the process-wide pool, so attribution is
+	// exact only for sequential runs (how the bench harness runs them).
+	PoolGets, PoolRecycled int64
+}
+
+// recordPoolStats fills the pool-traffic fields from a Stats snapshot taken
+// when Train started.
+func (r *TrainResult) recordPoolStats(startGets, startHits int64) {
+	gets, hits := tensor.DefaultPool().Stats()
+	r.PoolGets = gets - startGets
+	r.PoolRecycled = hits - startHits
 }
 
 // BuildClients constructs the federated clients (environments + agents)
@@ -324,10 +339,12 @@ func Train(alg Algorithm, cfg ExperimentConfig) (*TrainResult, error) {
 		return nil, err
 	}
 	res := &TrainResult{Algorithm: alg, Clients: clients, Data: data}
+	startGets, startHits := tensor.DefaultPool().Stats()
 
 	if alg == AlgPPO {
 		trainIndependent(clients, cfg.Episodes, cfg.Parallel)
 		res.MeanCurve = fed.MeanRewardCurve(clients)
+		res.recordPoolStats(startGets, startHits)
 		return res, nil
 	}
 
@@ -371,6 +388,7 @@ func Train(alg Algorithm, cfg ExperimentConfig) (*TrainResult, error) {
 	}
 	res.Federation = f
 	res.MeanCurve = fed.MeanRewardCurve(clients)
+	res.recordPoolStats(startGets, startHits)
 	return res, nil
 }
 

@@ -400,3 +400,24 @@ func TestTrainExtensionAlgorithms(t *testing.T) {
 		t.Fatal("extension names wrong")
 	}
 }
+
+// TestTrainReportsPoolTraffic asserts the pooled fast path is actually live
+// end-to-end: a full (tiny) training run must route its tensor traffic
+// through the shared pool and recycle most of it.
+func TestTrainReportsPoolTraffic(t *testing.T) {
+	res, err := Train(AlgPPO, tinyConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PoolGets == 0 {
+		t.Fatal("Train recorded no tensor-pool traffic; the pooled path is not in use")
+	}
+	if res.PoolRecycled == 0 {
+		t.Fatalf("Train recycled nothing out of %d pool requests", res.PoolGets)
+	}
+	hitRate := float64(res.PoolRecycled) / float64(res.PoolGets)
+	if hitRate < 0.5 {
+		t.Fatalf("pool hit rate %.2f, want >= 0.5 (gets=%d recycled=%d)",
+			hitRate, res.PoolGets, res.PoolRecycled)
+	}
+}

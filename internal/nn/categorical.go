@@ -21,8 +21,24 @@ type Categorical struct {
 // distribution falls back to uniform over all actions (the caller should
 // treat that as a modelling bug, but sampling stays well-defined).
 func NewCategorical(logits []float64, mask []bool) *Categorical {
+	c := &Categorical{}
+	c.SetLogits(logits, mask)
+	return c
+}
+
+// SetLogits rebuilds the distribution in place from logits, reusing the
+// receiver's probability and log-probability storage. It is the
+// allocation-free counterpart of NewCategorical for rollout hot loops: one
+// Categorical per agent, refreshed every step. Semantics (masking,
+// all-masked uniform fallback) are identical to NewCategorical.
+func (c *Categorical) SetLogits(logits []float64, mask []bool) {
 	n := len(logits)
-	c := &Categorical{probs: make([]float64, n), logp: make([]float64, n)}
+	if cap(c.probs) < n {
+		c.probs = make([]float64, n)
+		c.logp = make([]float64, n)
+	}
+	c.probs = c.probs[:n]
+	c.logp = c.logp[:n]
 	mx := math.Inf(-1)
 	anyAllowed := false
 	for i, l := range logits {
@@ -39,7 +55,7 @@ func NewCategorical(logits []float64, mask []bool) *Categorical {
 			c.probs[i] = p
 			c.logp[i] = math.Log(p)
 		}
-		return c
+		return
 	}
 	sum := 0.0
 	for i, l := range logits {
@@ -47,6 +63,8 @@ func NewCategorical(logits []float64, mask []bool) *Categorical {
 			e := math.Exp(l - mx)
 			c.probs[i] = e
 			sum += e
+		} else {
+			c.probs[i] = 0 // clear any value left from a previous SetLogits
 		}
 	}
 	lse := mx + math.Log(sum)
@@ -58,7 +76,6 @@ func NewCategorical(logits []float64, mask []bool) *Categorical {
 			c.logp[i] = math.Inf(-1)
 		}
 	}
-	return c
 }
 
 // Sample draws an action index using rng.

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/autograd"
@@ -111,11 +112,67 @@ func (m *MLP) Forward(tape *autograd.Tape, x *autograd.Value) *autograd.Value {
 	return h
 }
 
-// Predict runs a gradient-free forward pass (fresh throwaway tape), which is
-// what rollouts and evaluation use.
+// Infer runs a gradient-free forward pass — the rollout fast path. No tape
+// is built and no graph is recorded; intermediate activations come from the
+// shared tensor pool and are returned before Infer exits, so at steady state
+// the pass allocates nothing. The output is written into dst (which must be
+// x.Rows x output-size) and returned; a nil dst is allocated fresh.
+//
+// Infer computes exactly the same kernels in the same order as Forward, so
+// its outputs are bitwise identical to the tape-based pass (asserted in
+// tests). Distinct MLPs may Infer concurrently (the pool is thread-safe),
+// but a single MLP must not be shared across goroutines mid-call with a
+// shared dst.
+func (m *MLP) Infer(dst *tensor.Matrix, x *tensor.Matrix) *tensor.Matrix {
+	outDim := m.sizes[len(m.sizes)-1]
+	if dst == nil {
+		dst = tensor.New(x.Rows, outDim)
+	}
+	cur := x
+	var scratch *tensor.Matrix // pooled intermediate owned by this call
+	for i, l := range m.Layers {
+		last := i+1 == len(m.Layers)
+		var out *tensor.Matrix
+		if last {
+			out = dst
+		} else {
+			out = tensor.Get(x.Rows, m.sizes[i+1])
+		}
+		cur.MatMulInto(l.W.Data, out)
+		out.AddRowBroadcastInto(l.B.Data, out)
+		if !last {
+			switch m.Act {
+			case ActTanh:
+				out.ApplyInto(math.Tanh, out)
+			case ActReLU:
+				out.ApplyInto(func(v float64) float64 {
+					if v > 0 {
+						return v
+					}
+					return 0
+				}, out)
+			case ActNone:
+				// identity
+			default:
+				panic("nn: unknown activation " + m.Act.String())
+			}
+		}
+		if scratch != nil {
+			tensor.Put(scratch)
+		}
+		if !last {
+			scratch = out
+		}
+		cur = out
+	}
+	return dst
+}
+
+// Predict runs a gradient-free forward pass and returns a freshly allocated
+// result. It is a convenience wrapper around Infer for callers that keep the
+// output; hot paths should pass their own reusable dst to Infer instead.
 func (m *MLP) Predict(x *tensor.Matrix) *tensor.Matrix {
-	tape := autograd.NewTape()
-	return m.Forward(tape, tape.Const(x)).Data
+	return m.Infer(nil, x)
 }
 
 // Params returns all layer parameters in order.

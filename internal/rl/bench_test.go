@@ -1,0 +1,119 @@
+package rl
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Benchmark dimensions mirror the paper's scheduler workload: a ~538-feature
+// observation, 9 placement actions, one 64-unit hidden layer.
+const (
+	benchStateDim = 538
+	benchActions  = 9
+	benchHorizon  = 64
+)
+
+func benchAgent(seed int64) *PPO {
+	return NewPPO(DefaultConfig(benchStateDim, benchActions), rand.New(rand.NewSource(seed)))
+}
+
+// rolloutStep performs the per-transition inference work of CollectEpisode:
+// observe, sample an action, estimate the value, step the environment.
+func rolloutStep(env *SyntheticEnv, agent *PPO, state []float64) []float64 {
+	state = env.Observe(state)
+	action, _ := agent.SelectAction(state)
+	_ = agent.Value(state)
+	_ = env.Step(action)
+	if env.Done() {
+		env.Reset()
+	}
+	return state
+}
+
+// BenchmarkRolloutStep measures the zero-allocation inference fast path.
+// Expected steady state: 0 allocs/op (asserted by TestRolloutStepZeroAlloc).
+func BenchmarkRolloutStep(b *testing.B) {
+	env := NewSyntheticEnv(benchStateDim, benchActions, benchHorizon, 1)
+	agent := benchAgent(2)
+	var state []float64
+	for i := 0; i < 16; i++ { // warm the agent scratch and the tensor pool
+		state = rolloutStep(env, agent, state)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		state = rolloutStep(env, agent, state)
+	}
+}
+
+// TestRolloutStepZeroAlloc pins the headline tentpole claim: after warmup, a
+// full rollout step (Observe + SelectAction + Value + Step) allocates nothing.
+func TestRolloutStepZeroAlloc(t *testing.T) {
+	env := NewSyntheticEnv(benchStateDim, benchActions, benchHorizon, 1)
+	agent := benchAgent(2)
+	var state []float64
+	for i := 0; i < 16; i++ {
+		state = rolloutStep(env, agent, state)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		state = rolloutStep(env, agent, state)
+	})
+	if allocs != 0 {
+		t.Fatalf("rollout step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// benchBuffer fills buf with full episodes until it holds at least minSteps
+// transitions.
+func benchBuffer(env *SyntheticEnv, agent *PPO, buf *Buffer, minSteps int) {
+	for buf.Len() < minSteps {
+		env.Reset()
+		CollectEpisode(env, agent, buf)
+	}
+}
+
+// BenchmarkPPOUpdate measures one full PPO update (4 epochs x minibatches of
+// 64 over 256 transitions) with the pooled tape and pooled staging buffers.
+func BenchmarkPPOUpdate(b *testing.B) {
+	env := NewSyntheticEnv(benchStateDim, benchActions, benchHorizon, 3)
+	agent := benchAgent(4)
+	var buf Buffer
+	benchBuffer(env, agent, &buf, 256)
+	agent.Update(&buf) // warm the tape spare list and the tensor pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Update(&buf)
+	}
+}
+
+// TestConcurrentClientsSharedPool mirrors core.trainIndependent: several
+// clients, each with its own agent and environment, collect and update
+// concurrently while sharing the process-wide tensor pool. Run under -race
+// in CI; any unsynchronized pool or tape reuse across goroutines fails there.
+func TestConcurrentClientsSharedPool(t *testing.T) {
+	const clients = 4
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			env := NewSyntheticEnv(24, 5, 32, seed)
+			agent := NewPPO(DefaultConfig(24, 5), rand.New(rand.NewSource(seed)))
+			var buf Buffer
+			for round := 0; round < 3; round++ {
+				buf.Reset()
+				env.Reset()
+				CollectEpisode(env, agent, &buf)
+				stats := agent.Update(&buf)
+				if stats != (UpdateStats{}) && stats.Entropy < 0 {
+					t.Errorf("client %d: negative entropy %v", seed, stats.Entropy)
+				}
+				env.Reset()
+				EvaluateEpisodeMasked(env, agent)
+			}
+		}(int64(c + 10))
+	}
+	wg.Wait()
+}

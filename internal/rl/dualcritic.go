@@ -39,6 +39,8 @@ type DualCriticPPO struct {
 	localOpt  *nn.Adam
 	publicOpt *nn.Adam
 	rng       *rand.Rand
+	inf       inferScratch
+	tape      *autograd.Tape // pooled update tape, reused across Update calls
 
 	// Loss probes recorded by the most recent RefreshAlpha call.
 	LastLocalLoss  float64
@@ -65,31 +67,29 @@ func NewDualCriticPPO(cfg Config, rng *rand.Rand) *DualCriticPPO {
 }
 
 // SelectAction samples an action and returns it with its log-probability.
+// Like PPO.SelectAction it runs on the zero-allocation inference fast path.
 func (d *DualCriticPPO) SelectAction(state []float64) (action int, logProb float64) {
-	logits := d.Actor.Predict(tensor.RowVector(state))
-	dist := nn.CategoricalFromRow(logits, 0, nil)
+	dist := d.inf.policyDist(d.Actor, state, d.Cfg.NumActions, nil)
 	a := dist.Sample(d.rng)
 	return a, dist.LogProb(a)
 }
 
 // GreedyAction returns argmax_a π(a|state).
 func (d *DualCriticPPO) GreedyAction(state []float64) int {
-	logits := d.Actor.Predict(tensor.RowVector(state))
-	return nn.CategoricalFromRow(logits, 0, nil).Argmax()
+	return d.inf.policyDist(d.Actor, state, d.Cfg.NumActions, nil).Argmax()
 }
 
 // GreedyMaskedAction returns the most probable action among those allowed
 // by mask (see PPO.GreedyMaskedAction).
 func (d *DualCriticPPO) GreedyMaskedAction(state []float64, mask []bool) int {
-	logits := d.Actor.Predict(tensor.RowVector(state))
-	return nn.CategoricalFromRow(logits, 0, mask).Argmax()
+	return d.inf.policyDist(d.Actor, state, d.Cfg.NumActions, mask).Argmax()
 }
 
 // Value returns the blended estimate of Eq. (14).
 func (d *DualCriticPPO) Value(state []float64) float64 {
-	x := tensor.RowVector(state)
-	vl := d.LocalCritic.Predict(x).Data[0]
-	vp := d.PublicCritic.Predict(x).Data[0]
+	x := d.inf.setState(state)
+	vl := d.LocalCritic.Infer(d.inf.valueBuf(), x).Data[0]
+	vp := d.PublicCritic.Infer(d.inf.value2Buf(), x).Data[0]
 	return d.Alpha*vl + (1-d.Alpha)*vp
 }
 
@@ -137,9 +137,13 @@ func (d *DualCriticPPO) RefreshAlpha(buf *Buffer) {
 func (d *DualCriticPPO) Update(buf *Buffer) UpdateStats {
 	adv, targets := buf.GAE(d.Cfg.Gamma, d.Cfg.Lambda)
 	NormalizeInPlace(adv)
+	if d.tape == nil {
+		d.tape = autograd.NewPooledTape(tensor.DefaultPool())
+	}
 	stats := ppoUpdate(ppoUpdateSpec{
 		cfg:      d.Cfg,
 		rng:      d.rng,
+		tape:     d.tape,
 		buf:      buf,
 		adv:      adv,
 		targets:  targets,

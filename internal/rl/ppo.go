@@ -98,6 +98,8 @@ type PPO struct {
 	criticOpt *nn.Adam
 	rng       *rand.Rand
 	prox      Proximal
+	inf       inferScratch
+	tape      *autograd.Tape // pooled update tape, reused across Update calls
 }
 
 // NewPPO builds an agent with freshly initialized networks.
@@ -115,40 +117,44 @@ func NewPPO(cfg Config, rng *rand.Rand) *PPO {
 }
 
 // SelectAction samples an action from π(·|state) and returns it with its
-// log-probability under the current policy.
+// log-probability under the current policy. It runs on the zero-allocation
+// inference fast path: the gradient-free MLP.Infer plus the agent's reusable
+// scratch buffers (see inferScratch), producing logits bitwise identical to
+// the tape-based forward pass.
 func (p *PPO) SelectAction(state []float64) (action int, logProb float64) {
-	logits := p.Actor.Predict(tensor.RowVector(state))
-	dist := nn.CategoricalFromRow(logits, 0, nil)
+	dist := p.inf.policyDist(p.Actor, state, p.Cfg.NumActions, nil)
 	a := dist.Sample(p.rng)
 	return a, dist.LogProb(a)
 }
 
 // GreedyAction returns argmax_a π(a|state) (used for evaluation).
 func (p *PPO) GreedyAction(state []float64) int {
-	logits := p.Actor.Predict(tensor.RowVector(state))
-	return nn.CategoricalFromRow(logits, 0, nil).Argmax()
+	return p.inf.policyDist(p.Actor, state, p.Cfg.NumActions, nil).Argmax()
 }
 
 // GreedyMaskedAction returns the most probable action among those allowed
 // by mask — the deployment-time feasibility guard (a production scheduler
 // never submits a placement the admission check would reject).
 func (p *PPO) GreedyMaskedAction(state []float64, mask []bool) int {
-	logits := p.Actor.Predict(tensor.RowVector(state))
-	return nn.CategoricalFromRow(logits, 0, mask).Argmax()
+	return p.inf.policyDist(p.Actor, state, p.Cfg.NumActions, mask).Argmax()
 }
 
 // Value returns the critic's estimate V(state).
 func (p *PPO) Value(state []float64) float64 {
-	return p.Critic.Predict(tensor.RowVector(state)).Data[0]
+	return p.Critic.Infer(p.inf.valueBuf(), p.inf.setState(state)).Data[0]
 }
 
 // Update runs the clipped PPO update (Eqs. 10–12) over the buffer.
 func (p *PPO) Update(buf *Buffer) UpdateStats {
 	adv, targets := buf.GAE(p.Cfg.Gamma, p.Cfg.Lambda)
 	NormalizeInPlace(adv)
+	if p.tape == nil {
+		p.tape = autograd.NewPooledTape(tensor.DefaultPool())
+	}
 	return ppoUpdate(ppoUpdateSpec{
 		cfg:      p.Cfg,
 		rng:      p.rng,
+		tape:     p.tape,
 		buf:      buf,
 		adv:      adv,
 		targets:  targets,
@@ -177,8 +183,11 @@ type criticModule struct {
 // regressions of Eqs. 16–17 for the dual critic); every module in
 // criticModules is stepped.
 type ppoUpdateSpec struct {
-	cfg     Config
-	rng     *rand.Rand
+	cfg Config
+	rng *rand.Rand
+	// tape, when non-nil, is a caller-owned pooled tape reused across Update
+	// calls so node structs amortize to zero; nil gets a fresh pooled tape.
+	tape    *autograd.Tape
 	buf     *Buffer
 	adv     []float64
 	targets []float64
@@ -209,6 +218,18 @@ func ppoUpdate(s ppoUpdateSpec) UpdateStats {
 	for i := range idx {
 		idx[i] = i
 	}
+	// One pooled tape serves every actor and critic step: Reset recycles its
+	// node structs and intermediate matrices instead of leaving a fresh graph
+	// per minibatch for the GC. Staging matrices come from the shared tensor
+	// pool and return to it at the end of each batch; the actions slice is
+	// reused outright. Results are bitwise identical to the fresh-tape path
+	// (see autograd's TestPooledTapeResetMatchesFreshTapes).
+	tape := s.tape
+	if tape == nil {
+		tape = autograd.NewPooledTape(tensor.DefaultPool())
+	}
+	defer tape.Reset() // drain tape-owned matrices back to the pool
+	actions := make([]int, s.cfg.MiniBatch)
 	for epoch := 0; epoch < s.cfg.UpdateEpochs; epoch++ {
 		s.rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		epochActor, epochCritic, epochEntropy := 0.0, 0.0, 0.0
@@ -220,12 +241,12 @@ func ppoUpdate(s ppoUpdateSpec) UpdateStats {
 				hi = n
 			}
 			bsz := hi - lo
-			states := tensor.New(bsz, stateDim)
-			actions := make([]int, bsz)
-			oldLogp := tensor.New(bsz, 1)
-			advantage := tensor.New(bsz, 1)
-			target := tensor.New(bsz, 1)
-			oldValue := tensor.New(bsz, 1)
+			states := tensor.Get(bsz, stateDim)
+			actions := actions[:bsz]
+			oldLogp := tensor.Get(bsz, 1)
+			advantage := tensor.Get(bsz, 1)
+			target := tensor.Get(bsz, 1)
+			oldValue := tensor.Get(bsz, 1)
 			for bi := 0; bi < bsz; bi++ {
 				t := idx[lo+bi]
 				copy(states.Row(bi), steps[t].State)
@@ -238,7 +259,7 @@ func ppoUpdate(s ppoUpdateSpec) UpdateStats {
 
 			// --- Actor step: L = -E[min(r·A, clip(r)·A)] - c·H(π) ---
 			nn.ZeroGrads(s.actor)
-			tape := autograd.NewTape()
+			tape.Reset()
 			sIn := tape.Const(states)
 			logits := s.actor.Forward(tape, sIn)
 			logp := autograd.LogSoftmaxRows(logits)
@@ -272,8 +293,8 @@ func ppoUpdate(s ppoUpdateSpec) UpdateStats {
 			for _, cm := range s.criticModules {
 				nn.ZeroGrads(cm.net)
 			}
-			ctape := autograd.NewTape()
-			closs := s.criticLoss(ctape, ctape.Const(states), ctape.Const(target), ctape.Const(oldValue))
+			tape.Reset()
+			closs := s.criticLoss(tape, tape.Const(states), tape.Const(target), tape.Const(oldValue))
 			closs.Backward()
 			for _, cm := range s.criticModules {
 				if s.prox != nil {
@@ -283,6 +304,14 @@ func ppoUpdate(s ppoUpdateSpec) UpdateStats {
 				cm.opt.Step()
 			}
 			epochCritic += closs.Item()
+			// All stats for this batch are read; the staging matrices may
+			// return to the pool (the stale Const references die at the next
+			// Reset without being read again).
+			tensor.Put(states)
+			tensor.Put(oldLogp)
+			tensor.Put(advantage)
+			tensor.Put(target)
+			tensor.Put(oldValue)
 			batches++
 		}
 		if batches > 0 {
@@ -323,15 +352,18 @@ func CriticMSE(critic *nn.MLP, buf *Buffer, gamma float64) float64 {
 		return 0
 	}
 	returns := buf.Returns(gamma)
-	states := tensor.New(len(steps), len(steps[0].State))
+	states := tensor.Get(len(steps), len(steps[0].State))
 	for i, s := range steps {
 		copy(states.Row(i), s.State)
 	}
-	v := critic.Predict(states)
+	v := tensor.Get(len(steps), 1)
+	critic.Infer(v, states)
 	mse := 0.0
 	for i := range returns {
 		d := v.Data[i] - returns[i]
 		mse += d * d
 	}
+	tensor.Put(states)
+	tensor.Put(v)
 	return mse / float64(len(returns))
 }

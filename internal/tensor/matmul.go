@@ -7,43 +7,77 @@ import (
 )
 
 // parallelThreshold is the minimum number of multiply-accumulate operations
-// (rows*cols*inner) above which MatMul fans out across goroutines. Below the
-// threshold the goroutine overhead dominates any speedup for the small
-// matrices used by the 64-unit MLPs in this repository.
+// (rows*cols*inner) above which the matmul kernels fan out across
+// goroutines. Below the threshold the goroutine overhead dominates any
+// speedup for the small matrices used by the 64-unit MLPs in this
+// repository.
 const parallelThreshold = 64 * 1024
+
+// shouldParallelize reports whether a kernel over the given row count and
+// estimated work (total multiply-accumulates) is worth fanning out. Callers
+// check it before building the parallelRows closure so the serial fast path
+// stays allocation-free (the closure would otherwise escape to the heap on
+// every call).
+func shouldParallelize(rows, work int) bool {
+	return work >= parallelThreshold && rows >= 2
+}
+
+// parallelRows runs fn over the row range [0, rows), split into contiguous
+// blocks across GOMAXPROCS goroutines. All matmul variants share this
+// fan-out so their parallel behaviour stays identical. Callers have already
+// decided via shouldParallelize that fanning out is worthwhile.
+func parallelRows(rows, work int, fn func(lo, hi int)) {
+	if !shouldParallelize(rows, work) {
+		fn(0, rows)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // MatMul returns the matrix product m · b.
 // It panics if m.Cols != b.Rows. Large products are tiled by row blocks
 // across GOMAXPROCS goroutines.
 func (m *Matrix) MatMul(b *Matrix) *Matrix {
+	return m.MatMulInto(b, New(m.Rows, b.Cols))
+}
+
+// MatMulInto computes dst = m · b and returns dst. dst is zeroed first (the
+// kernel accumulates), must have shape m.Rows x b.Cols, and must not alias m
+// or b. Large products are tiled by row blocks across GOMAXPROCS goroutines.
+func (m *Matrix) MatMulInto(b, dst *Matrix) *Matrix {
 	if m.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
-	out := New(m.Rows, b.Cols)
-	work := m.Rows * m.Cols * b.Cols
-	if work < parallelThreshold || m.Rows < 2 {
-		matmulRange(out, m, b, 0, m.Rows)
-		return out
+	dst.assertShape(m.Rows, b.Cols, "MatMulInto")
+	if aliases(dst, m) || aliases(dst, b) {
+		panic("tensor: MatMulInto dst aliases an operand")
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m.Rows {
-		workers = m.Rows
+	dst.Zero()
+	if work := m.Rows * m.Cols * b.Cols; shouldParallelize(m.Rows, work) {
+		parallelRows(m.Rows, work, func(lo, hi int) {
+			matmulRange(dst, m, b, lo, hi)
+		})
+	} else {
+		matmulRange(dst, m, b, 0, m.Rows)
 	}
-	chunk := (m.Rows + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < m.Rows; lo += chunk {
-		hi := lo + chunk
-		if hi > m.Rows {
-			hi = m.Rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulRange(out, m, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
+	return dst
 }
 
 // matmulRange computes rows [lo,hi) of out = m·b using an ikj loop order so
@@ -67,12 +101,35 @@ func matmulRange(out, m, b *Matrix, lo, hi int) {
 
 // MatMulTransB returns m · bᵀ without materializing the transpose.
 func (m *Matrix) MatMulTransB(b *Matrix) *Matrix {
+	return m.MatMulTransBInto(b, New(m.Rows, b.Rows))
+}
+
+// MatMulTransBInto computes dst = m · bᵀ and returns dst. dst must have
+// shape m.Rows x b.Rows and must not alias m or b. Large products fan out by
+// row blocks like MatMul.
+func (m *Matrix) MatMulTransBInto(b, dst *Matrix) *Matrix {
 	if m.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %dx%d · (%dx%d)ᵀ", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
-	out := New(m.Rows, b.Rows)
+	dst.assertShape(m.Rows, b.Rows, "MatMulTransBInto")
+	if aliases(dst, m) || aliases(dst, b) {
+		panic("tensor: MatMulTransBInto dst aliases an operand")
+	}
+	if work := m.Rows * m.Cols * b.Rows; shouldParallelize(m.Rows, work) {
+		parallelRows(m.Rows, work, func(lo, hi int) {
+			matmulTransBRange(dst, m, b, lo, hi)
+		})
+	} else {
+		matmulTransBRange(dst, m, b, 0, m.Rows)
+	}
+	return dst
+}
+
+// matmulTransBRange computes rows [lo,hi) of out = m·bᵀ: each output row is
+// a set of dot products between one row of m and every row of b.
+func matmulTransBRange(out, m, b *Matrix, lo, hi int) {
 	n := m.Cols
-	for i := 0; i < m.Rows; i++ {
+	for i := lo; i < hi; i++ {
 		mrow := m.Data[i*n : (i+1)*n]
 		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
 		for j := 0; j < b.Rows; j++ {
@@ -84,19 +141,47 @@ func (m *Matrix) MatMulTransB(b *Matrix) *Matrix {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
 // MatMulTransA returns mᵀ · b without materializing the transpose.
 func (m *Matrix) MatMulTransA(b *Matrix) *Matrix {
+	return m.MatMulTransAInto(b, New(m.Cols, b.Cols))
+}
+
+// MatMulTransAInto computes dst = mᵀ · b and returns dst. dst is zeroed
+// first (the kernel accumulates), must have shape m.Cols x b.Cols, and must
+// not alias m or b. Large products fan out across goroutines by blocks of
+// output rows (columns of m), so every k-accumulation stays within one
+// goroutine and the summation order matches the serial kernel exactly.
+func (m *Matrix) MatMulTransAInto(b, dst *Matrix) *Matrix {
 	if m.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch (%dx%d)ᵀ · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
-	out := New(m.Cols, b.Cols)
+	dst.assertShape(m.Cols, b.Cols, "MatMulTransAInto")
+	if aliases(dst, m) || aliases(dst, b) {
+		panic("tensor: MatMulTransAInto dst aliases an operand")
+	}
+	dst.Zero()
+	if work := m.Rows * m.Cols * b.Cols; shouldParallelize(m.Cols, work) {
+		parallelRows(m.Cols, work, func(lo, hi int) {
+			matmulTransARange(dst, m, b, lo, hi)
+		})
+	} else {
+		matmulTransARange(dst, m, b, 0, m.Cols)
+	}
+	return dst
+}
+
+// matmulTransARange computes output rows [lo,hi) of out = mᵀ·b, i.e. the
+// contributions of columns lo..hi of m. The k loop stays outermost (as in
+// the historical serial kernel) so accumulation order per output element is
+// identical regardless of how the row range is partitioned.
+func matmulTransARange(out, m, b *Matrix, lo, hi int) {
 	for k := 0; k < m.Rows; k++ {
 		mrow := m.Data[k*m.Cols : (k+1)*m.Cols]
 		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-		for i, mv := range mrow {
+		for i := lo; i < hi; i++ {
+			mv := mrow[i]
 			if mv == 0 {
 				continue
 			}
@@ -106,5 +191,4 @@ func (m *Matrix) MatMulTransA(b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
 }
