@@ -1,16 +1,19 @@
 # Developer targets for the PFRL-DM reproduction.
 #
-#   make ci      - the full pre-merge smoke check: vet, build, race-enabled
-#                  tests, and one iteration of each perf microbenchmark
-#   make test    - plain test suite (tier-1 gate)
-#   make bench   - full benchmark runs with allocation reporting
-#   make perf    - the CLI perf experiment, writing BENCH_<name>.json
+#   make ci         - the full pre-merge smoke check: vet, build, race-enabled
+#                     tests (incl. the federation fault-tolerance suite), and
+#                     one iteration of each perf microbenchmark
+#   make test       - plain test suite (tier-1 gate)
+#   make test-race  - the federation layers under the race detector
+#   make fuzz-smoke - a short run of every fuzz target
+#   make bench      - full benchmark runs with allocation reporting
+#   make perf       - the CLI perf experiment, writing BENCH_<name>.json
 
 GO ?= go
 
-.PHONY: ci vet build test race bench perf
+.PHONY: ci vet build test race test-race fuzz-smoke bench perf
 
-ci: vet build race bench-smoke
+ci: vet build race test-race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +26,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The federation layers carry the concurrency-heavy fault-tolerance tests
+# (round deadlines, retries, rejoin); run them race-enabled on every merge.
+test-race:
+	$(GO) test -race ./internal/fed/... ./internal/fednet/...
+
+# Short deterministic-budget run of every fuzz target (go test allows one
+# -fuzz pattern per invocation, hence three runs).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime 10s ./internal/nn
+	$(GO) test -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime 10s ./internal/rl
+	$(GO) test -run '^$$' -fuzz FuzzCSVTrace -fuzztime 10s ./internal/workload
 
 # One iteration of each microbenchmark: catches panics/regressions in the
 # bench harness itself without paying for a full measurement run.

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cloudsim"
 	"repro/internal/core"
@@ -42,17 +43,40 @@ func main() {
 		tasks   = flag.Int("tasks", 80, "tasks per client")
 		dataset = flag.String("dataset", "google", "client: workload dataset name")
 		seed    = flag.Int64("seed", 1, "node seed")
+		// Fault-tolerance knobs.
+		roundTimeout = flag.Duration("round-timeout", 0,
+			"server/demo: aggregate with whoever arrived after this much waiting (0 = strict full barrier)")
+		retries = flag.Int("retries", 3,
+			"client/demo: retry attempts per sync step (exponential backoff, seeded jitter)")
+		rpcTimeout = flag.Duration("rpc-timeout", 0,
+			"client/demo: per-RPC deadline; set above -round-timeout plus a training segment (0 = none)")
+		faultSpec = flag.String("fault-spec", "",
+			"client/demo: injected transport faults, e.g. drop=0.1,delay=0.05:20ms,dup=0.02,corrupt=0.01,seed=7")
+		rejoin = flag.Int("rejoin", -1,
+			"client: reclaim this client id after a restart instead of registering anew")
 	)
 	flag.Parse()
 
-	var err error
+	faults, err := fed.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := fednet.Options{
+		CallTimeout: *rpcTimeout,
+		Retries:     *retries,
+		Seed:        *seed,
+	}
+	if *rejoin >= 0 {
+		opts.Rejoin, opts.RejoinID = true, *rejoin
+	}
+
 	switch *mode {
 	case "server":
-		err = runServer(*addr, *clients, *k, *seed)
+		err = runServer(*addr, *clients, *k, *seed, *roundTimeout)
 	case "client":
-		err = runClient(*addr, *dataset, *tasks, *rounds, *comm, *seed)
+		err = runClient(*addr, *dataset, *tasks, *rounds, *comm, *seed, opts, faults)
 	case "demo":
-		err = runDemo(*clients, *k, *rounds, *comm, *tasks, *seed)
+		err = runDemo(*clients, *k, *rounds, *comm, *tasks, *seed, *roundTimeout, opts, faults)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -92,7 +116,7 @@ func buildLocal(spec core.ClientSpec, tasks int, seed int64) (*fed.Client, error
 	return fed.NewClient(int(seed), spec.Name, envCfg, ts, agent)
 }
 
-func runServer(addr string, clients, k int, seed int64) error {
+func runServer(addr string, clients, k int, seed int64, roundTimeout time.Duration) error {
 	// The server needs ψ_G^(0) with the federation's network shape.
 	spec, err := specFor("google", seed)
 	if err != nil {
@@ -103,13 +127,18 @@ func runServer(addr string, clients, k int, seed int64) error {
 		return err
 	}
 	transport := fed.PublicCriticTransport{}
+	initial, err := transport.Upload(ref)
+	if err != nil {
+		return err
+	}
 	if k <= 0 {
 		k = clients / 2
 	}
 	srv, err := fednet.NewServer(fednet.ServerConfig{
 		Clients: clients, K: k, Seed: seed,
-		InitialGlobal: transport.Upload(ref),
+		InitialGlobal: initial,
 		Aggregator:    fed.NewAttention(seed),
+		RoundTimeout:  roundTimeout,
 	})
 	if err != nil {
 		return err
@@ -118,11 +147,12 @@ func runServer(addr string, clients, k int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("aggregation server on %s (N=%d, K=%d); Ctrl-C to stop\n", bound, clients, k)
+	fmt.Printf("aggregation server on %s (N=%d, K=%d, round-timeout=%v); Ctrl-C to stop\n",
+		bound, clients, k, roundTimeout)
 	select {} // serve forever
 }
 
-func runClient(addr, dataset string, tasks, rounds, comm int, seed int64) error {
+func runClient(addr, dataset string, tasks, rounds, comm int, seed int64, opts fednet.Options, faults fed.FaultSpec) error {
 	spec, err := specFor(dataset, seed)
 	if err != nil {
 		return err
@@ -131,21 +161,45 @@ func runClient(addr, dataset string, tasks, rounds, comm int, seed int64) error 
 	if err != nil {
 		return err
 	}
-	rc, err := fednet.Dial(addr, local, fed.PublicCriticTransport{})
+	rc, err := fednet.DialOptions(addr, local, clientTransport(faults), opts)
 	if err != nil {
 		return err
 	}
 	defer rc.Close()
-	fmt.Printf("client %d (%s) joined %s; training %d rounds x %d episodes\n",
-		rc.ID(), spec.Dataset, addr, rounds, comm)
+	verb := "joined"
+	if opts.Rejoin {
+		verb = "rejoined"
+	}
+	fmt.Printf("client %d (%s) %s %s at round %d; training %d rounds x %d episodes\n",
+		rc.ID(), spec.Dataset, verb, addr, rc.Round(), rounds, comm)
 	if err := rc.RunRounds(rounds, comm); err != nil {
 		return err
 	}
+	printStats(rc)
 	printCurve(local)
 	return nil
 }
 
-func runDemo(clients, k, rounds, comm, tasks int, seed int64) error {
+// clientTransport wraps the public-critic transport in a fault injector
+// when a fault spec is active.
+func clientTransport(faults fed.FaultSpec) fed.Transport {
+	var tr fed.Transport = fed.PublicCriticTransport{}
+	if faults.Active() {
+		tr = fed.NewFaultyTransport(tr, faults)
+	}
+	return tr
+}
+
+func printStats(rc *fednet.RemoteClient) {
+	st := rc.Stats()
+	if st.Retries+st.Timeouts+st.Resyncs == 0 {
+		return
+	}
+	fmt.Printf("  client %d absorbed: %d retries, %d rpc timeouts, %d round resyncs\n",
+		rc.ID(), st.Retries, st.Timeouts, st.Resyncs)
+}
+
+func runDemo(clients, k, rounds, comm, tasks int, seed int64, roundTimeout time.Duration, opts fednet.Options, faults fed.FaultSpec) error {
 	specs := core.ScaleSpecs(core.Table3Specs(), 4)
 	if clients > len(specs) {
 		clients = len(specs)
@@ -155,6 +209,10 @@ func runDemo(clients, k, rounds, comm, tasks int, seed int64) error {
 		return err
 	}
 	transport := fed.PublicCriticTransport{}
+	initial, err := transport.Upload(ref)
+	if err != nil {
+		return err
+	}
 	if k <= 0 {
 		k = clients / 2
 		if k < 1 {
@@ -163,8 +221,9 @@ func runDemo(clients, k, rounds, comm, tasks int, seed int64) error {
 	}
 	srv, err := fednet.NewServer(fednet.ServerConfig{
 		Clients: clients, K: k, Seed: seed,
-		InitialGlobal: transport.Upload(ref),
+		InitialGlobal: initial,
 		Aggregator:    fed.NewAttention(seed),
+		RoundTimeout:  roundTimeout,
 	})
 	if err != nil {
 		return err
@@ -174,11 +233,12 @@ func runDemo(clients, k, rounds, comm, tasks int, seed int64) error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("demo federation on %s: %d clients, K=%d, %d rounds x %d episodes\n\n",
-		addr, clients, k, rounds, comm)
+	fmt.Printf("demo federation on %s: %d clients, K=%d, %d rounds x %d episodes, round-timeout=%v\n\n",
+		addr, clients, k, rounds, comm, roundTimeout)
 
 	var wg sync.WaitGroup
 	locals := make([]*fed.Client, clients)
+	remotes := make([]*fednet.RemoteClient, clients)
 	errs := make([]error, clients)
 	for i := 0; i < clients; i++ {
 		local, err := buildLocal(specs[i], tasks, seed+int64(i))
@@ -186,10 +246,17 @@ func runDemo(clients, k, rounds, comm, tasks int, seed int64) error {
 			return err
 		}
 		locals[i] = local
-		rc, err := fednet.Dial(addr, local, transport)
+		cliOpts := opts
+		cliOpts.Seed = seed + int64(i)
+		// Each client gets its own injector stream so fault schedules are
+		// independent and reproducible per client.
+		cliFaults := faults
+		cliFaults.Seed = faults.Seed + int64(i)
+		rc, err := fednet.DialOptions(addr, local, clientTransport(cliFaults), cliOpts)
 		if err != nil {
 			return err
 		}
+		remotes[i] = rc
 		wg.Add(1)
 		go func(i int, rc *fednet.RemoteClient) {
 			defer wg.Done()
@@ -203,8 +270,16 @@ func runDemo(clients, k, rounds, comm, tasks int, seed int64) error {
 			return fmt.Errorf("client %d: %w", i, err)
 		}
 	}
-	fmt.Printf("server completed %d rounds; global model %d params\n\n", srv.Rounds(), len(srv.Global()))
-	for _, local := range locals {
+	fmt.Printf("server completed %d rounds; global model %d params\n", srv.Rounds(), len(srv.Global()))
+	for _, info := range srv.Reports() {
+		if info.TimedOut || info.Arrived < info.Expected {
+			fmt.Printf("  round %d closed with %d/%d arrivals (%d aggregated, timed-out=%v)\n",
+				info.Round, info.Arrived, info.Expected, info.Participants, info.TimedOut)
+		}
+	}
+	fmt.Println()
+	for i, local := range locals {
+		printStats(remotes[i])
 		printCurve(local)
 	}
 	return nil

@@ -220,6 +220,10 @@ type ExperimentConfig struct {
 	// MFPOBeta is the server-momentum coefficient for AlgMFPO
 	// (0 means the default, 0.5).
 	MFPOBeta float64
+	// Faults, when active, wraps the federation transport in a seeded
+	// fault injector (fed.FaultyTransport) — the chaos-testing knob for
+	// robustness experiments. Ignored by AlgPPO (no transport).
+	Faults fed.FaultSpec
 }
 
 // DefaultExperiment returns the scaled-down counterpart of the paper's main
@@ -293,6 +297,12 @@ type TrainResult struct {
 	// Concurrent Train calls share the process-wide pool, so attribution is
 	// exact only for sequential runs (how the bench harness runs them).
 	PoolGets, PoolRecycled int64
+	// Participation is the number of uploads aggregated in each round
+	// (equals K every round unless faults dropped clients out).
+	Participation []int
+	// Faults counts the transport faults injected during the run (zero
+	// unless ExperimentConfig.Faults was active).
+	Faults fed.FaultStats
 }
 
 // recordPoolStats fills the pool-traffic fields from a Stats snapshot taken
@@ -383,10 +393,25 @@ func Train(alg Algorithm, cfg ExperimentConfig) (*TrainResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Faults model network flakiness during training rounds; the initial
+	// provisioning sync in fed.New stays clean, so even an always-drop spec
+	// yields a (degenerate) run instead of a setup failure.
+	var faulty *fed.FaultyTransport
+	if cfg.Faults.Active() {
+		faulty = fed.NewFaultyTransport(transport, cfg.Faults)
+		f.Transport = faulty
+	}
 	if err := f.RunEpisodes(cfg.Episodes); err != nil {
 		return nil, err
 	}
 	res.Federation = f
+	res.Participation = make([]int, len(f.Reports))
+	for i, rep := range f.Reports {
+		res.Participation[i] = rep.Participants
+	}
+	if faulty != nil {
+		res.Faults = faulty.Stats()
+	}
 	res.MeanCurve = fed.MeanRewardCurve(clients)
 	res.recordPoolStats(startGets, startHits)
 	return res, nil

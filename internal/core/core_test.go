@@ -374,9 +374,15 @@ func TestFederationClientsShareGlobalAfterTraining(t *testing.T) {
 	// Episodes there is no trailing segment... here 4 % 2 == 0, so the last
 	// action was a download: all clients identical.
 	tr := fed.ActorCriticTransport{}
-	ref := tr.Upload(r.Clients[0])
+	ref, err := tr.Upload(r.Clients[0])
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, c := range r.Clients[1:] {
-		got := tr.Upload(c)
+		got, err := tr.Upload(c)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := range ref {
 			if got[i] != ref[i] {
 				t.Fatal("FedAvg clients diverged after final aggregation")
@@ -419,5 +425,46 @@ func TestTrainReportsPoolTraffic(t *testing.T) {
 	if hitRate < 0.5 {
 		t.Fatalf("pool hit rate %.2f, want >= 0.5 (gets=%d recycled=%d)",
 			hitRate, res.PoolGets, res.PoolRecycled)
+	}
+}
+
+func TestTrainReportsParticipationAndFaults(t *testing.T) {
+	// A fault-free run surfaces full participation and zero fault counts.
+	cfg := tinyConfig(17)
+	r, err := Train(AlgFedAvg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := cfg.Episodes / cfg.CommEvery
+	if len(r.Participation) != rounds {
+		t.Fatalf("participation for %d rounds, want %d", len(r.Participation), rounds)
+	}
+	for i, p := range r.Participation {
+		if p != len(cfg.Specs) {
+			t.Fatalf("round %d participation %d, want full %d", i, p, len(cfg.Specs))
+		}
+	}
+	if r.Faults.Total() != 0 {
+		t.Fatalf("fault counters %+v without an injector", r.Faults)
+	}
+
+	// With an always-drop injector every round still completes — with zero
+	// participants — and the injected events are counted on the result.
+	cfg = tinyConfig(17)
+	cfg.Faults = fed.FaultSpec{Drop: 1, Seed: 3}
+	r, err = Train(AlgFedAvg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Participation) != rounds {
+		t.Fatalf("faulty run participation length %d, want %d", len(r.Participation), rounds)
+	}
+	for i, p := range r.Participation {
+		if p != 0 {
+			t.Fatalf("round %d participation %d under total drop", i, p)
+		}
+	}
+	if r.Faults.Drops == 0 {
+		t.Fatalf("fault counters %+v, want recorded drops", r.Faults)
 	}
 }

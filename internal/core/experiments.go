@@ -273,7 +273,9 @@ func RunWeightHeatmaps(cfg ExperimentConfig) (*HeatmapResult, error) {
 	uploads := make([][]float64, len(clients))
 	labels := make([]string, len(clients))
 	for i, c := range clients {
-		uploads[i] = transport.Upload(c)
+		if uploads[i], err = transport.Upload(c); err != nil {
+			return nil, err
+		}
 		labels[i] = specs[i].Name
 	}
 	return &HeatmapResult{

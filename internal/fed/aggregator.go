@@ -14,6 +14,19 @@ type Aggregator interface {
 	Aggregate(uploads []Payload) (personalized []Payload, global Payload)
 }
 
+// AggregatePartial runs one aggregation over however many uploads arrived
+// (the partial-participation regime: k of n clients answered before the
+// round deadline). Each arrival carries equal weight, so the result is the
+// participation-weighted mean — exactly agg.Aggregate over the k uploads.
+// The degenerate round where nobody arrived is well-defined too: no
+// personalized payloads, and the global payload carries over unchanged.
+func AggregatePartial(agg Aggregator, uploads []Payload, prevGlobal Payload) (personalized []Payload, global Payload) {
+	if len(uploads) == 0 {
+		return nil, append(Payload(nil), prevGlobal...)
+	}
+	return agg.Aggregate(uploads)
+}
+
 func meanPayload(uploads []Payload) Payload {
 	if len(uploads) == 0 {
 		panic("fed: aggregate of zero uploads")

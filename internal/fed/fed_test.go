@@ -153,11 +153,21 @@ func newDualClient(t *testing.T, id int, seed int64) *Client {
 	return c
 }
 
+// mustUpload extracts a payload, failing the test on error.
+func mustUpload(t *testing.T, tr Transport, c *Client) Payload {
+	t.Helper()
+	p, err := tr.Upload(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestActorCriticTransportRoundTrip(t *testing.T) {
 	a := newPPOClient(t, 0, 1)
 	b := newPPOClient(t, 1, 2)
 	tr := ActorCriticTransport{}
-	payload := tr.Upload(a)
+	payload := mustUpload(t, tr, a)
 	if len(payload) != tr.PayloadSize(a) {
 		t.Fatal("payload size mismatch")
 	}
@@ -186,7 +196,7 @@ func TestPublicCriticTransportOnlyMovesPsi(t *testing.T) {
 	db := b.Agent.(*rl.DualCriticPPO)
 	actorBefore := nn.FlattenParams(db.Actor)
 	localBefore := nn.FlattenParams(db.LocalCritic)
-	if err := tr.Download(b, tr.Upload(a)); err != nil {
+	if err := tr.Download(b, mustUpload(t, tr, a)); err != nil {
 		t.Fatal(err)
 	}
 	pubA := nn.FlattenParams(da.PublicCritic)
@@ -218,9 +228,28 @@ func TestTransportTypeMismatch(t *testing.T) {
 	if err := (ActorCriticTransport{}).Download(dual, Payload{}); err == nil {
 		t.Fatal("expected type error")
 	}
+	if _, err := (ActorCriticTransport{}).Upload(dual); err == nil {
+		t.Fatal("expected upload type error, not a panic")
+	}
 	ppo := newPPOClient(t, 1, 6)
 	if err := (PublicCriticTransport{}).Download(ppo, Payload{}); err == nil {
 		t.Fatal("expected type error")
+	}
+	if _, err := (PublicCriticTransport{}).Upload(ppo); err == nil {
+		t.Fatal("expected upload type error, not a panic")
+	}
+	if _, err := (FedProxTransport{Mu: 0.1}).Upload(dual); err == nil {
+		t.Fatal("expected upload type error, not a panic")
+	}
+}
+
+func TestMismatchedClientFailsRoundNotProcess(t *testing.T) {
+	// A federation misconfigured with a dual-critic client behind the
+	// actor+critic transport must surface an error from New (the initial
+	// sync), not panic the process.
+	clients := []*Client{newDualClient(t, 0, 7), newDualClient(t, 1, 8)}
+	if _, err := New(clients, ActorCriticTransport{}, FedAvg{}, Options{Seed: 1}); err == nil {
+		t.Fatal("expected error from misconfigured federation")
 	}
 }
 
@@ -231,9 +260,9 @@ func TestFederationInitSynchronizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := tr.Upload(clients[0])
+	ref := mustUpload(t, tr, clients[0])
 	for _, c := range clients[1:] {
-		got := tr.Upload(c)
+		got := mustUpload(t, tr, c)
 		for i := range ref {
 			if got[i] != ref[i] {
 				t.Fatal("initial sync failed")
@@ -283,7 +312,7 @@ func TestNonParticipantsGetGlobal(t *testing.T) {
 	// With FedAvg over K=1 every client (participant or not) ends up with
 	// the same global payload.
 	for _, c := range clients {
-		got := tr.Upload(c)
+		got := mustUpload(t, tr, c)
 		for i := range f.Global {
 			if got[i] != f.Global[i] {
 				t.Fatal("client out of sync with global")
@@ -306,7 +335,7 @@ func TestAddClientReceivesGlobal(t *testing.T) {
 	if err := f.AddClient(joiner); err != nil {
 		t.Fatal(err)
 	}
-	got := tr.Upload(joiner)
+	got := mustUpload(t, tr, joiner)
 	for i := range f.Global {
 		if got[i] != f.Global[i] {
 			t.Fatal("joiner did not receive global model")

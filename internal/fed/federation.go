@@ -1,10 +1,28 @@
 package fed
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 )
+
+// RoundReport records who actually contributed to one aggregation round —
+// the partial-participation bookkeeping surfaced on core.TrainResult.
+type RoundReport struct {
+	// Round is the round index (0-based).
+	Round int
+	// Selected is how many clients were drawn for the round (K).
+	Selected int
+	// Participants is how many uploads were actually aggregated
+	// (Selected minus injected upload drops).
+	Participants int
+	// UploadDrops / DownloadDrops count transient transport faults the
+	// round absorbed (ErrInjectedFault); a dropped download leaves that
+	// client on its previous parameters.
+	UploadDrops   int
+	DownloadDrops int
+}
 
 // Federation drives Algorithm 1: local training segments interleaved with
 // server aggregation rounds.
@@ -31,6 +49,9 @@ type Federation struct {
 
 	// Rounds counts completed aggregation rounds.
 	Rounds int
+
+	// Reports holds one participation record per completed round.
+	Reports []RoundReport
 
 	comm CommStats
 	rng  *rand.Rand
@@ -69,7 +90,11 @@ func New(clients []*Client, transport Transport, agg Aggregator, opts Options) (
 		Parallel:  opts.Parallel,
 		rng:       rand.New(rand.NewSource(opts.Seed)),
 	}
-	f.Global = transport.Upload(clients[0])
+	initial, err := transport.Upload(clients[0])
+	if err != nil {
+		return nil, fmt.Errorf("fed: initial upload from client %d: %w", clients[0].ID, err)
+	}
+	f.Global = initial
 	for _, c := range clients {
 		if err := transport.Download(c, f.Global); err != nil {
 			return nil, fmt.Errorf("fed: initial sync to client %d: %w", c.ID, err)
@@ -101,26 +126,49 @@ func (f *Federation) trainSegment(episodes int) {
 // aggregation over K randomly selected participants. Participants receive
 // their personalized payloads; every other client receives the stored
 // global model (Algorithm 1, lines 13–15).
+//
+// Transient transport faults (ErrInjectedFault) do not fail the round: a
+// client whose upload drops or arrives corrupt-length simply does not
+// participate, and a client whose download drops keeps its previous
+// parameters until the next round. Any other transport error — a
+// misconfigured client, say — aborts the round with that error.
 func (f *Federation) RunRound() error {
 	f.trainSegment(f.CommEvery)
 
-	var participants []int
+	var selected []int
 	if f.K >= len(f.Clients) {
 		// Full participation keeps the stable client order, so aggregators
 		// with per-client semantics (StaticWeights) map rows to clients.
-		participants = make([]int, len(f.Clients))
-		for i := range participants {
-			participants[i] = i
+		selected = make([]int, len(f.Clients))
+		for i := range selected {
+			selected[i] = i
 		}
 	} else {
-		participants = shuffledSubset(f.rng, len(f.Clients), f.K)
+		selected = shuffledSubset(f.rng, len(f.Clients), f.K)
 	}
-	uploads := make([]Payload, len(participants))
-	for i, idx := range participants {
-		uploads[i] = f.Transport.Upload(f.Clients[idx])
-		f.comm.UploadScalars += int64(len(uploads[i]))
+	report := RoundReport{Round: f.Rounds, Selected: len(selected)}
+	expect := len(f.Global)
+	var participants []int // selected clients whose upload made it
+	var uploads []Payload
+	for _, idx := range selected {
+		u, err := f.Transport.Upload(f.Clients[idx])
+		switch {
+		case errors.Is(err, ErrInjectedFault):
+			report.UploadDrops++
+			continue
+		case err != nil:
+			return fmt.Errorf("fed: round %d upload from client %d: %w", f.Rounds, f.Clients[idx].ID, err)
+		case len(u) != expect:
+			// Corrupt-length upload: detectable, so the round survives it.
+			report.UploadDrops++
+			continue
+		}
+		participants = append(participants, idx)
+		uploads = append(uploads, u)
+		f.comm.UploadScalars += int64(len(u))
 	}
-	personalized, global := f.Agg.Aggregate(uploads)
+	report.Participants = len(uploads)
+	personalized, global := AggregatePartial(f.Agg, uploads, f.Global)
 	f.Global = global
 
 	isParticipant := make(map[int]int, len(participants)) // client index -> upload slot
@@ -135,13 +183,19 @@ func (f *Federation) RunRound() error {
 		} else {
 			payload = f.Global
 		}
-		if err := f.Transport.Download(c, payload); err != nil {
+		err := f.Transport.Download(c, payload)
+		switch {
+		case errors.Is(err, ErrInjectedFault):
+			report.DownloadDrops++
+		case err != nil:
 			return fmt.Errorf("fed: round %d download to client %d: %w", f.Rounds, c.ID, err)
+		default:
+			f.comm.DownloadScalars += int64(len(payload))
 		}
-		f.comm.DownloadScalars += int64(len(payload))
 		c.CriticLossPost = append(c.CriticLossPost, c.probeCriticLoss())
 	}
 	f.Rounds++
+	f.Reports = append(f.Reports, report)
 	f.comm.Rounds = f.Rounds
 	return nil
 }

@@ -82,9 +82,9 @@ func TestSecureFedAvgInFederation(t *testing.T) {
 	}
 	// All clients end up synchronized on the (securely computed) mean.
 	tr := ActorCriticTransport{}
-	ref := tr.Upload(clients[0])
+	ref := mustUpload(t, tr, clients[0])
 	for _, c := range clients[1:] {
-		got := tr.Upload(c)
+		got := mustUpload(t, tr, c)
 		for i := range ref {
 			if got[i] != ref[i] {
 				t.Fatal("clients diverged under secure aggregation")

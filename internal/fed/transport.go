@@ -14,8 +14,10 @@ type Payload = []float64
 type Transport interface {
 	// Name identifies the transport in reports.
 	Name() string
-	// Upload extracts the client's shareable parameters.
-	Upload(c *Client) Payload
+	// Upload extracts the client's shareable parameters. An error marks
+	// the client as unable to contribute this round (wrong agent type,
+	// injected fault); it must leave the client unchanged.
+	Upload(c *Client) (Payload, error)
 	// Download installs a payload into the client.
 	Download(c *Client, p Payload) error
 	// PayloadSize returns the number of scalars exchanged per direction
@@ -39,14 +41,14 @@ func ppoOf(c *Client) (*rl.PPO, error) {
 }
 
 // Upload implements Transport.
-func (ActorCriticTransport) Upload(c *Client) Payload {
+func (ActorCriticTransport) Upload(c *Client) (Payload, error) {
 	p, err := ppoOf(c)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	actor := nn.FlattenParams(p.Actor)
 	critic := nn.FlattenParams(p.Critic)
-	return append(actor, critic...)
+	return append(actor, critic...), nil
 }
 
 // Download implements Transport.
@@ -92,12 +94,12 @@ func dualOf(c *Client) (*rl.DualCriticPPO, error) {
 }
 
 // Upload implements Transport.
-func (PublicCriticTransport) Upload(c *Client) Payload {
+func (PublicCriticTransport) Upload(c *Client) (Payload, error) {
 	d, err := dualOf(c)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	return d.PublicCriticParams()
+	return d.PublicCriticParams(), nil
 }
 
 // Download implements Transport. Installing a new public critic refreshes
@@ -135,7 +137,7 @@ type FedProxTransport struct {
 func (t FedProxTransport) Name() string { return "fedprox(actor+critic)" }
 
 // Upload implements Transport.
-func (t FedProxTransport) Upload(c *Client) Payload {
+func (t FedProxTransport) Upload(c *Client) (Payload, error) {
 	return ActorCriticTransport{}.Upload(c)
 }
 

@@ -1,11 +1,56 @@
 package fednet
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
+	"net"
 	"net/rpc"
+	"strings"
+	"time"
 
 	"repro/internal/fed"
 )
+
+// ErrRPCTimeout marks a call that exceeded Options.CallTimeout. The
+// connection is torn down and redialed before the next attempt.
+var ErrRPCTimeout = errors.New("fednet: rpc deadline exceeded")
+
+// Options tunes a RemoteClient's fault tolerance. The zero value is the
+// strict protocol: no deadlines and no retries, every error fatal.
+type Options struct {
+	// CallTimeout bounds each RPC round trip, 0 means none. Sync blocks on
+	// the server's round barrier, so set this above the server's
+	// RoundTimeout plus the slowest client's training segment.
+	CallTimeout time.Duration
+	// Retries is how many times a failed step is re-attempted (so a step
+	// makes at most Retries+1 attempts).
+	Retries int
+	// RetryBase / RetryMax bound the exponential backoff between attempts
+	// (defaults 50ms / 2s). Each delay is scaled by a jitter factor in
+	// [0.5, 1) drawn from the Seed-ed RNG, so a retry schedule is
+	// deterministic for a given seed.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed drives the backoff jitter.
+	Seed int64
+	// Rejoin reclaims slot RejoinID instead of registering a new client —
+	// the restart path: the rejoined client re-downloads the current
+	// global payload and resumes at the server's current round.
+	Rejoin   bool
+	RejoinID int
+}
+
+// ClientStats counts the fault-tolerance events a client absorbed.
+type ClientStats struct {
+	// Retries is the number of re-attempted steps (any cause).
+	Retries int
+	// Timeouts is how many RPCs exceeded CallTimeout.
+	Timeouts int
+	// Resyncs is how many rounds were missed and recovered via State.
+	Resyncs int
+}
 
 // RemoteClient trains a local fed.Client and synchronizes it with a fednet
 // server over TCP. Only transport payloads cross the wire; workload data
@@ -14,19 +59,44 @@ type RemoteClient struct {
 	Local     *fed.Client
 	Transport fed.Transport
 
-	id  int
-	rpc *rpc.Client
+	addr  string
+	opts  Options
+	id    int
+	round int // the server round this client will sync next
+	rpc   *rpc.Client
+	rng   *rand.Rand
+	stats ClientStats
 }
 
 // Dial connects to the server, registers, and installs the initial global
-// model into the local client.
+// model into the local client, with the strict zero Options.
 func Dial(addr string, local *fed.Client, transport fed.Transport) (*RemoteClient, error) {
+	return DialOptions(addr, local, transport, Options{})
+}
+
+// DialOptions is Dial with explicit fault-tolerance options.
+func DialOptions(addr string, local *fed.Client, transport fed.Transport, opts Options) (*RemoteClient, error) {
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 50 * time.Millisecond
+	}
+	if opts.RetryMax <= 0 {
+		opts.RetryMax = 2 * time.Second
+	}
+	c := &RemoteClient{
+		Local:     local,
+		Transport: transport,
+		addr:      addr,
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+	}
 	conn, err := rpc.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("fednet: dial %s: %w", addr, err)
 	}
+	c.rpc = conn
 	var reply JoinReply
-	if err := conn.Call("Federation.Join", JoinArgs{Name: local.Name}, &reply); err != nil {
+	args := JoinArgs{Name: local.Name, Rejoin: opts.Rejoin, ClientID: opts.RejoinID}
+	if err := c.call("Federation.Join", args, &reply); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("fednet: join: %w", err)
 	}
@@ -34,28 +104,185 @@ func Dial(addr string, local *fed.Client, transport fed.Transport) (*RemoteClien
 		conn.Close()
 		return nil, fmt.Errorf("fednet: install initial global: %w", err)
 	}
-	return &RemoteClient{Local: local, Transport: transport, id: reply.ClientID, rpc: conn}, nil
+	c.id = reply.ClientID
+	c.round = reply.Round
+	return c, nil
 }
 
 // ID returns the server-assigned client id.
 func (c *RemoteClient) ID() int { return c.id }
 
+// Round returns the next server round this client will sync.
+func (c *RemoteClient) Round() int { return c.round }
+
+// Stats returns the client's fault-tolerance counters.
+func (c *RemoteClient) Stats() ClientStats { return c.stats }
+
+// call issues one RPC, bounded by CallTimeout when set. On timeout the
+// connection is closed (a stale late reply must not leak into a future
+// call's budget) and the caller is expected to reconnect before retrying.
+func (c *RemoteClient) call(method string, args, reply any) error {
+	if c.opts.CallTimeout <= 0 {
+		return c.rpc.Call(method, args, reply)
+	}
+	inflight := c.rpc.Go(method, args, reply, make(chan *rpc.Call, 1))
+	t := time.NewTimer(c.opts.CallTimeout)
+	defer t.Stop()
+	select {
+	case done := <-inflight.Done:
+		return done.Error
+	case <-t.C:
+		c.stats.Timeouts++
+		c.rpc.Close()
+		return fmt.Errorf("%w: %s after %v", ErrRPCTimeout, method, c.opts.CallTimeout)
+	}
+}
+
+// reconnect tears down the connection and dials a fresh one.
+func (c *RemoteClient) reconnect() error {
+	c.rpc.Close()
+	conn, err := rpc.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("fednet: redial %s: %w", c.addr, err)
+	}
+	c.rpc = conn
+	return nil
+}
+
+// retryable classifies an error: injected faults are retried in place,
+// connection-level failures and timeouts are retried over a fresh
+// connection, a corrupt-length upload is retried with a rebuilt payload,
+// and everything else — a misconfigured transport, a server protocol
+// error — is fatal.
+func retryable(err error) (retry, redial bool) {
+	switch {
+	case err == nil:
+		return false, false
+	case errors.Is(err, fed.ErrInjectedFault):
+		return true, false
+	case errors.Is(err, ErrRPCTimeout), errors.Is(err, rpc.ErrShutdown),
+		errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		return true, true
+	}
+	var srvErr rpc.ServerError
+	if errors.As(err, &srvErr) {
+		return strings.Contains(err.Error(), msgBadUpload), false
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) {
+		return true, true
+	}
+	return false, false
+}
+
+// roundPassed reports whether the server aggregated this round without us.
+func roundPassed(err error) bool {
+	return err != nil && strings.Contains(err.Error(), msgRoundPassed)
+}
+
+// backoff sleeps for an exponentially growing, jittered delay before retry
+// attempt n (0-based).
+func (c *RemoteClient) backoff(n int) {
+	d := c.opts.RetryBase << n
+	if d > c.opts.RetryMax || d <= 0 {
+		d = c.opts.RetryMax
+	}
+	jitter := 0.5 + 0.5*c.rng.Float64()
+	time.Sleep(time.Duration(float64(d) * jitter))
+}
+
 // RunRounds performs the given number of (train-segment, sync) rounds:
 // commEvery local episodes, then one blocking Sync exchanging only the
-// transport payload.
+// transport payload. A round the server closed without us counts as done:
+// the client adopts the current global model and moves on, matching the
+// partial-participation regime.
 func (c *RemoteClient) RunRounds(rounds, commEvery int) error {
 	for r := 0; r < rounds; r++ {
 		c.Local.TrainEpisodes(commEvery)
-		var reply SyncReply
-		args := SyncArgs{ClientID: c.id, Round: r, Upload: c.Transport.Upload(c.Local)}
-		if err := c.rpc.Call("Federation.Sync", args, &reply); err != nil {
-			return fmt.Errorf("fednet: sync round %d: %w", r, err)
-		}
-		if err := c.Transport.Download(c.Local, reply.Payload); err != nil {
-			return fmt.Errorf("fednet: install round %d payload: %w", r, err)
+		if err := c.syncRound(); err != nil {
+			return fmt.Errorf("fednet: sync round %d: %w", c.round, err)
 		}
 	}
 	return nil
+}
+
+// syncRound uploads, waits out the barrier, and installs the returned
+// payload, retrying transient failures up to Options.Retries times.
+func (c *RemoteClient) syncRound() error {
+	for attempt := 0; ; attempt++ {
+		err := c.syncOnce()
+		if err == nil {
+			return nil
+		}
+		if roundPassed(err) {
+			return c.resync()
+		}
+		retry, redial := retryable(err)
+		if !retry {
+			return err
+		}
+		if attempt >= c.opts.Retries {
+			return fmt.Errorf("giving up after %d attempts: %w", attempt+1, err)
+		}
+		c.stats.Retries++
+		c.backoff(attempt)
+		if redial {
+			if rerr := c.reconnect(); rerr != nil {
+				// The server may still be down; the next attempt redials.
+				continue
+			}
+		}
+	}
+}
+
+// syncOnce is a single upload→barrier→download attempt.
+func (c *RemoteClient) syncOnce() error {
+	upload, err := c.Transport.Upload(c.Local)
+	if err != nil {
+		return err
+	}
+	var reply SyncReply
+	args := SyncArgs{ClientID: c.id, Round: c.round, Upload: upload}
+	if err := c.call("Federation.Sync", args, &reply); err != nil {
+		return err
+	}
+	if err := c.Transport.Download(c.Local, reply.Payload); err != nil {
+		return err
+	}
+	c.round++
+	return nil
+}
+
+// resync recovers from a missed round: fetch the server's current state
+// and install the global payload, leaving the round counter aligned with
+// the server instead of poisoned behind it.
+func (c *RemoteClient) resync() error {
+	for attempt := 0; ; attempt++ {
+		var state StateReply
+		err := c.call("Federation.State", StateArgs{}, &state)
+		if err == nil {
+			if derr := c.Transport.Download(c.Local, state.Global); derr != nil {
+				err = derr
+			} else {
+				c.round = state.Round
+				c.stats.Resyncs++
+				return nil
+			}
+		}
+		if retry, redial := retryable(err); !retry {
+			return err
+		} else if attempt >= c.opts.Retries {
+			return fmt.Errorf("resync failed after %d attempts: %w", attempt+1, err)
+		} else {
+			c.stats.Retries++
+			c.backoff(attempt)
+			if redial {
+				if rerr := c.reconnect(); rerr != nil {
+					continue
+				}
+			}
+		}
+	}
 }
 
 // Close releases the connection.

@@ -1,0 +1,436 @@
+package fednet
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fed"
+)
+
+// recordingTransport remembers the last successful upload per client so
+// tests can check what actually crossed the wire.
+type recordingTransport struct {
+	fed.Transport
+	mu   sync.Mutex
+	last map[int]fed.Payload
+}
+
+func newRecordingTransport(inner fed.Transport) *recordingTransport {
+	return &recordingTransport{Transport: inner, last: map[int]fed.Payload{}}
+}
+
+func (r *recordingTransport) Upload(c *fed.Client) (fed.Payload, error) {
+	p, err := r.Transport.Upload(c)
+	if err == nil {
+		r.mu.Lock()
+		r.last[c.ID] = append(fed.Payload(nil), p...)
+		r.mu.Unlock()
+	}
+	return p, err
+}
+
+// truncOnceTransport corrupts the first n uploads to the wrong length —
+// the flaky-serializer scenario behind msgBadUpload retries.
+type truncOnceTransport struct {
+	fed.Transport
+	mu   sync.Mutex
+	left int
+}
+
+func (tr *truncOnceTransport) Upload(c *fed.Client) (fed.Payload, error) {
+	p, err := tr.Transport.Upload(c)
+	if err != nil {
+		return nil, err
+	}
+	tr.mu.Lock()
+	corrupt := tr.left > 0
+	if corrupt {
+		tr.left--
+	}
+	tr.mu.Unlock()
+	if corrupt {
+		return p[:len(p)-1], nil
+	}
+	return p, nil
+}
+
+// TestKillMidRoundThenRejoin is the acceptance scenario: three clients,
+// one dies before uploading. The server's round deadline closes the round
+// with the two arrivals (participation-weighted aggregation over exactly
+// those two), and the dead client later rejoins, receives the current
+// global model, and the full federation completes the next round.
+func TestKillMidRoundThenRejoin(t *testing.T) {
+	const n = 3
+	transport := newRecordingTransport(fed.PublicCriticTransport{})
+	ref := newLocalClient(t, 99, 5)
+	srv, err := NewServer(ServerConfig{
+		Clients: n, K: n, Seed: 42,
+		InitialGlobal: mustUpload(t, transport, ref),
+		Aggregator:    fed.FedAvg{},
+		RoundTimeout:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	clients := make([]*RemoteClient, n)
+	for i := 0; i < n; i++ {
+		local := newLocalClient(t, i, int64(i)+10)
+		rc, err := Dial(addr, local, transport)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = rc
+	}
+
+	// Client 2 is killed mid-round: registered, but its process dies before
+	// it can upload.
+	deadID := clients[2].ID()
+	clients[2].Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = clients[i].RunRounds(1, 1)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("surviving client %d: %v", i, errs[i])
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("round took %v; the deadline did not fire", elapsed)
+	}
+	if srv.Rounds() != 1 {
+		t.Fatalf("server rounds %d, want 1", srv.Rounds())
+	}
+	reports := srv.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	rep := reports[0]
+	if !rep.TimedOut || rep.Arrived != 2 || rep.Participants != 2 || rep.Expected != n {
+		t.Fatalf("round report %+v, want timed-out 2-of-3", rep)
+	}
+
+	// Participation-weighted FedAvg over exactly the two arrivals: the new
+	// global is their mean, computed the same way meanPayload does.
+	u0, u1 := transport.last[clients[0].Local.ID], transport.last[clients[1].Local.ID]
+	global := srv.Global()
+	if len(u0) == 0 || len(u0) != len(global) {
+		t.Fatalf("recorded upload length %d vs global %d", len(u0), len(global))
+	}
+	for d := range global {
+		want := (u0[d] + u1[d]) * 0.5
+		if global[d] != want {
+			t.Fatalf("global[%d] = %v, want the 2-client mean %v", d, global[d], want)
+		}
+	}
+
+	// The dead client restarts and rejoins its old slot. It must come back
+	// with the server's *current* global payload and round counter, not the
+	// state it died with.
+	relocal := newLocalClient(t, 2, 777)
+	rejoined, err := DialOptions(addr, relocal, transport, Options{Rejoin: true, RejoinID: deadID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejoined.ID() != deadID {
+		t.Fatalf("rejoined as %d, want slot %d", rejoined.ID(), deadID)
+	}
+	if rejoined.Round() != 1 {
+		t.Fatalf("rejoined at round %d, want 1", rejoined.Round())
+	}
+	got := mustUpload(t, fed.PublicCriticTransport{}, relocal)
+	for d := range global {
+		if got[d] != global[d] {
+			t.Fatalf("rejoined client's params diverge from current global at %d", d)
+		}
+	}
+
+	// Full federation completes the next round on the full barrier.
+	all := []*RemoteClient{clients[0], clients[1], rejoined}
+	errs3 := make([]error, len(all))
+	for i, rc := range all {
+		wg.Add(1)
+		go func(i int, rc *RemoteClient) {
+			defer wg.Done()
+			errs3[i] = rc.RunRounds(1, 1)
+		}(i, rc)
+	}
+	wg.Wait()
+	for i, err := range errs3 {
+		if err != nil {
+			t.Fatalf("post-rejoin client %d: %v", i, err)
+		}
+	}
+	if srv.Rounds() != 2 {
+		t.Fatalf("server rounds %d, want 2", srv.Rounds())
+	}
+	rep = srv.Reports()[1]
+	if rep.TimedOut || rep.Arrived != 3 {
+		t.Fatalf("post-rejoin report %+v, want full 3-client barrier", rep)
+	}
+	for _, rc := range all {
+		rc.Close()
+	}
+}
+
+// TestRetainedResultAfterLostReply: a client that re-sends its Sync after
+// the round completed (its reply was lost) gets the identical retained
+// result instead of an error.
+func TestRetainedResultAfterLostReply(t *testing.T) {
+	transport := fed.PublicCriticTransport{}
+	ref := newLocalClient(t, 99, 90)
+	_, addr := startServer(t, 2, 2, fed.FedAvg{}, mustUpload(t, transport, ref))
+
+	rcs := make([]*RemoteClient, 2)
+	uploads := make([]fed.Payload, 2)
+	for i := range rcs {
+		local := newLocalClient(t, i, int64(i)+91)
+		rc, err := Dial(addr, local, transport)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rc.Close()
+		rcs[i] = rc
+		local.TrainEpisodes(1)
+		uploads[i] = mustUpload(t, transport, local)
+	}
+
+	first := make([]SyncReply, 2)
+	var wg sync.WaitGroup
+	for i, rc := range rcs {
+		wg.Add(1)
+		go func(i int, rc *RemoteClient) {
+			defer wg.Done()
+			args := SyncArgs{ClientID: rc.ID(), Round: 0, Upload: uploads[i]}
+			if err := rc.rpc.Call("Federation.Sync", args, &first[i]); err != nil {
+				t.Error(err)
+			}
+		}(i, rc)
+	}
+	wg.Wait()
+
+	// Client 0 retries round 0 — as after a lost reply or a duplicate send.
+	var again SyncReply
+	args := SyncArgs{ClientID: rcs[0].ID(), Round: 0, Upload: uploads[0]}
+	if err := rcs[0].rpc.Call("Federation.Sync", args, &again); err != nil {
+		t.Fatalf("retained-result retry failed: %v", err)
+	}
+	if len(again.Payload) != len(first[0].Payload) || again.Participant != first[0].Participant {
+		t.Fatal("retained result differs in shape from the original reply")
+	}
+	for d := range again.Payload {
+		if again.Payload[d] != first[0].Payload[d] {
+			t.Fatal("retained result differs from the original reply")
+		}
+	}
+}
+
+// TestStragglerResyncsViaState: a client that missed its round entirely is
+// told the round passed, re-downloads the current global via State, and
+// continues with an aligned round counter instead of a poisoned one.
+func TestStragglerResyncsViaState(t *testing.T) {
+	transport := fed.PublicCriticTransport{}
+	ref := newLocalClient(t, 99, 95)
+	srv, err := NewServer(ServerConfig{
+		Clients: 2, K: 2, Seed: 42,
+		InitialGlobal: mustUpload(t, transport, ref),
+		Aggregator:    fed.FedAvg{},
+		RoundTimeout:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	fast := newLocalClient(t, 0, 96)
+	rcFast, err := Dial(addr, fast, transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcFast.Close()
+	slow := newLocalClient(t, 1, 97)
+	rcSlow, err := Dial(addr, slow, transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcSlow.Close()
+
+	// The fast client runs round 0 alone; the deadline closes it.
+	if err := rcFast.RunRounds(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Rounds() != 1 {
+		t.Fatalf("rounds %d", srv.Rounds())
+	}
+
+	// The straggler now tries round 0, learns it passed, and resyncs.
+	if err := rcSlow.RunRounds(1, 1); err != nil {
+		t.Fatalf("straggler should recover, got %v", err)
+	}
+	if rcSlow.Round() != 1 {
+		t.Fatalf("straggler round %d, want 1 (server-aligned)", rcSlow.Round())
+	}
+	if st := rcSlow.Stats(); st.Resyncs != 1 {
+		t.Fatalf("straggler stats %+v, want one resync", st)
+	}
+	got := mustUpload(t, transport, slow)
+	global := srv.Global()
+	for d := range global {
+		if got[d] != global[d] {
+			t.Fatal("straggler did not adopt the current global payload")
+		}
+	}
+}
+
+// TestBadUploadRejected: a corrupt-length upload is refused with the
+// msgBadUpload prefix and does not enter the round.
+func TestBadUploadRejected(t *testing.T) {
+	transport := fed.PublicCriticTransport{}
+	ref := newLocalClient(t, 99, 100)
+	srv, addr := startServer(t, 1, 1, fed.FedAvg{}, mustUpload(t, transport, ref))
+	local := newLocalClient(t, 0, 101)
+	rc, err := Dial(addr, local, transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	full := mustUpload(t, transport, local)
+	var reply SyncReply
+	err = rc.rpc.Call("Federation.Sync",
+		SyncArgs{ClientID: rc.ID(), Round: 0, Upload: full[:len(full)-1]}, &reply)
+	if err == nil || !strings.Contains(err.Error(), msgBadUpload) {
+		t.Fatalf("err %v, want %q rejection", err, msgBadUpload)
+	}
+	if srv.Rounds() != 0 {
+		t.Fatal("corrupt upload must not advance the round")
+	}
+}
+
+// TestBadUploadRetriedWithRebuiltPayload: when the corruption is transient
+// (serializer flake), the client classifies the server's rejection as
+// retryable, rebuilds the payload, and completes the round.
+func TestBadUploadRetriedWithRebuiltPayload(t *testing.T) {
+	plain := fed.PublicCriticTransport{}
+	ref := newLocalClient(t, 99, 105)
+	srv, addr := startServer(t, 1, 1, fed.FedAvg{}, mustUpload(t, plain, ref))
+
+	flaky := &truncOnceTransport{Transport: plain, left: 1}
+	local := newLocalClient(t, 0, 106)
+	rc, err := DialOptions(addr, local, flaky, Options{
+		Retries: 3, RetryBase: time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if err := rc.RunRounds(1, 1); err != nil {
+		t.Fatalf("flaky upload should be retried, got %v", err)
+	}
+	if srv.Rounds() != 1 {
+		t.Fatalf("rounds %d", srv.Rounds())
+	}
+	if st := rc.Stats(); st.Retries != 1 {
+		t.Fatalf("stats %+v, want exactly one retry", st)
+	}
+}
+
+// TestClientRetriesThroughInjectedFaults drives a two-client federation
+// through per-client fault injectors (drops on upload and download) and
+// requires every round to complete anyway via the retry path.
+func TestClientRetriesThroughInjectedFaults(t *testing.T) {
+	plain := fed.PublicCriticTransport{}
+	ref := newLocalClient(t, 99, 110)
+	srv, addr := startServer(t, 2, 2, fed.FedAvg{}, mustUpload(t, plain, ref))
+
+	rcs := make([]*RemoteClient, 2)
+	for i := range rcs {
+		local := newLocalClient(t, i, int64(i)+111)
+		// Each client owns its injector, so its fault schedule is
+		// deterministic regardless of goroutine interleaving.
+		faulty := fed.NewFaultyTransport(plain, fed.FaultSpec{Drop: 0.3, Seed: int64(i) + 5})
+		rc, err := DialOptions(addr, local, faulty, Options{
+			Retries: 25, RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond, Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcs[i] = rc
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(rcs))
+	for i, rc := range rcs {
+		wg.Add(1)
+		go func(i int, rc *RemoteClient) {
+			defer wg.Done()
+			errs[i] = rc.RunRounds(3, 1)
+			rc.Close()
+		}(i, rc)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if srv.Rounds() != 3 {
+		t.Fatalf("rounds %d, want 3", srv.Rounds())
+	}
+	total := 0
+	for _, rc := range rcs {
+		total += rc.Stats().Retries
+	}
+	if total == 0 {
+		t.Fatal("with 30% drops someone must have retried")
+	}
+}
+
+// TestCallTimeoutGivesUp: a Sync blocked forever on a barrier that can
+// never fill times out, retries over a fresh connection, and finally
+// surfaces ErrRPCTimeout instead of hanging.
+func TestCallTimeoutGivesUp(t *testing.T) {
+	transport := fed.PublicCriticTransport{}
+	ref := newLocalClient(t, 99, 115)
+	// Server waits for 2 clients; only one ever dials, and no RoundTimeout
+	// is set — the barrier never opens.
+	_, addr := startServer(t, 2, 2, fed.FedAvg{}, mustUpload(t, transport, ref))
+	local := newLocalClient(t, 0, 116)
+	rc, err := DialOptions(addr, local, transport, Options{
+		CallTimeout: 50 * time.Millisecond,
+		Retries:     1, RetryBase: time.Millisecond, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	err = rc.RunRounds(1, 1)
+	if !errors.Is(err, ErrRPCTimeout) {
+		t.Fatalf("err %v, want ErrRPCTimeout", err)
+	}
+	st := rc.Stats()
+	if st.Timeouts != 2 || st.Retries != 1 {
+		t.Fatalf("stats %+v, want 2 timeouts / 1 retry", st)
+	}
+}

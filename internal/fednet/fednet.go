@@ -8,12 +8,21 @@
 //
 //  1. Every client calls Sync(round, upload). The call blocks server-side
 //     on a round barrier.
-//  2. When all registered clients have arrived, the server draws the K
-//     participants for the round, aggregates their uploads, stores the new
-//     global model, and releases the barrier.
+//  2. When all registered clients have arrived — or the round deadline
+//     expires — the server draws the K participants from the arrivals,
+//     aggregates their uploads (participation-weighted: each arrival
+//     carries equal weight), stores the new global model, and releases the
+//     barrier.
 //  3. Each Sync returns the caller's personalized payload (participants) or
 //     the stored global model (everyone else) — exactly Algorithm 1's
 //     lines 9–15, distributed.
+//
+// Fault tolerance: Sync is idempotent within a round (a duplicate upload
+// from a retrying client is accepted and first-wins), the results of the
+// most recently completed round are retained so a client whose reply was
+// lost can re-fetch it, and a straggler that missed its round entirely is
+// told so and re-downloads the current global model via State instead of
+// poisoning the round counter.
 //
 // The design trades throughput for reproducibility: uploads are aggregated
 // in registration order and participant selection is seeded, so a fednet
@@ -27,20 +36,39 @@ import (
 	"math/rand"
 	"net"
 	"net/rpc"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/fed"
+)
+
+// Error-message prefixes shared by server and client. net/rpc flattens
+// server-side errors to strings, so the client classifies them by prefix.
+const (
+	// msgRoundPassed tells a straggler its round aggregated without it;
+	// the client must resync via State instead of retrying.
+	msgRoundPassed = "fednet: round passed"
+	// msgBadUpload flags a corrupt-length upload; the client should
+	// rebuild the payload and retry.
+	msgBadUpload = "fednet: bad upload"
 )
 
 // JoinArgs registers a client with the server.
 type JoinArgs struct {
 	Name string
+	// Rejoin reclaims the slot ClientID after a client restart instead of
+	// allocating a fresh one.
+	Rejoin   bool
+	ClientID int
 }
 
-// JoinReply carries the assigned client id and the initial global model.
+// JoinReply carries the assigned client id, the current global model, and
+// the server's current round (non-zero when rejoining mid-training).
 type JoinReply struct {
 	ClientID int
 	Global   fed.Payload
+	Round    int
 }
 
 // SyncArgs submits one round's upload.
@@ -54,6 +82,31 @@ type SyncArgs struct {
 type SyncReply struct {
 	Payload     fed.Payload
 	Participant bool
+}
+
+// StateArgs requests the server's current round state.
+type StateArgs struct{}
+
+// StateReply carries the current round index and global model — the rejoin
+// path for clients that missed a round.
+type StateReply struct {
+	Round  int
+	Global fed.Payload
+}
+
+// RoundInfo records one completed aggregation round.
+type RoundInfo struct {
+	Round int
+	// Expected is the registered-client count the barrier waited for.
+	Expected int
+	// Arrived is how many uploads were present when the round closed.
+	Arrived int
+	// Participants is how many uploads were aggregated (K-selection
+	// applied to the arrivals).
+	Participants int
+	// TimedOut marks rounds closed by the deadline rather than a full
+	// barrier.
+	TimedOut bool
 }
 
 // ServerConfig parameterizes a federation server.
@@ -70,6 +123,10 @@ type ServerConfig struct {
 	InitialGlobal fed.Payload
 	// Aggregator combines the uploads each round.
 	Aggregator fed.Aggregator
+	// RoundTimeout bounds how long a round stays open once its first
+	// upload arrives; on expiry the server aggregates with whoever has
+	// arrived. 0 waits for the full barrier forever (the strict protocol).
+	RoundTimeout time.Duration
 }
 
 // Server is the aggregation endpoint. Create with NewServer, then Serve.
@@ -77,17 +134,20 @@ type Server struct {
 	cfg ServerConfig
 	rng *rand.Rand
 
-	mu         sync.Mutex
-	nextID     int
-	global     fed.Payload
-	round      int
-	pending    map[int]fed.Payload // uploads of the in-progress round
-	roundDone  chan struct{}       // closed when the round aggregates
-	results    map[int]SyncReply
-	listener   net.Listener
-	rpcSrv     *rpc.Server
-	closedOnce sync.Once
-	wg         sync.WaitGroup
+	mu          sync.Mutex
+	nextID      int
+	global      fed.Payload
+	round       int
+	pending     map[int]fed.Payload // uploads of the in-progress round
+	roundDone   chan struct{}       // closed when the round aggregates
+	lastRound   int                 // index of the most recently completed round
+	lastResults map[int]SyncReply   // that round's per-client results
+	timer       *time.Timer         // round deadline, armed at first upload
+	reports     []RoundInfo
+	listener    net.Listener
+	rpcSrv      *rpc.Server
+	closedOnce  sync.Once
+	wg          sync.WaitGroup
 }
 
 // NewServer builds a server; it does not listen yet.
@@ -110,7 +170,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		global:    append(fed.Payload(nil), cfg.InitialGlobal...),
 		pending:   map[int]fed.Payload{},
 		roundDone: make(chan struct{}),
-		results:   map[int]SyncReply{},
+		lastRound: -1,
 	}
 	s.rpcSrv = rpc.NewServer()
 	if err := s.rpcSrv.RegisterName("Federation", &rpcHandler{s: s}); err != nil {
@@ -152,6 +212,12 @@ func (s *Server) Close() {
 		if s.listener != nil {
 			s.listener.Close()
 		}
+		s.mu.Lock()
+		if s.timer != nil {
+			s.timer.Stop()
+			s.timer = nil
+		}
+		s.mu.Unlock()
 	})
 }
 
@@ -169,21 +235,49 @@ func (s *Server) Rounds() int {
 	return s.round
 }
 
+// Reports returns one RoundInfo per completed round.
+func (s *Server) Reports() []RoundInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RoundInfo(nil), s.reports...)
+}
+
 // rpcHandler is the net/rpc receiver (kept separate so Server's exported
 // methods don't have to fit the RPC signature shape).
 type rpcHandler struct{ s *Server }
 
-// Join implements the registration RPC.
+// Join implements the registration RPC. A fresh join allocates the next
+// slot; a rejoin reclaims an existing slot after a client restart and
+// returns the current round so the restarted client resumes in step.
 func (h *rpcHandler) Join(args JoinArgs, reply *JoinReply) error {
 	s := h.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.nextID >= s.cfg.Clients {
-		return fmt.Errorf("fednet: federation is full (%d clients)", s.cfg.Clients)
+	if args.Rejoin {
+		if args.ClientID < 0 || args.ClientID >= s.nextID {
+			return fmt.Errorf("fednet: rejoin of unknown client %d (joined: %d)", args.ClientID, s.nextID)
+		}
+		reply.ClientID = args.ClientID
+	} else {
+		if s.nextID >= s.cfg.Clients {
+			return fmt.Errorf("fednet: federation is full (%d clients)", s.cfg.Clients)
+		}
+		reply.ClientID = s.nextID
+		s.nextID++
 	}
-	reply.ClientID = s.nextID
 	reply.Global = append(fed.Payload(nil), s.global...)
-	s.nextID++
+	reply.Round = s.round
+	return nil
+}
+
+// State implements the resync RPC: a straggler that missed its round calls
+// it to adopt the current round index and global model.
+func (h *rpcHandler) State(_ StateArgs, reply *StateReply) error {
+	s := h.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reply.Round = s.round
+	reply.Global = append(fed.Payload(nil), s.global...)
 	return nil
 }
 
@@ -196,17 +290,40 @@ func (h *rpcHandler) Sync(args SyncArgs, reply *SyncReply) error {
 		return fmt.Errorf("fednet: unknown client %d", args.ClientID)
 	}
 	if args.Round != s.round {
+		// A retry for the round that just completed: return the retained
+		// result if this client made it into that round, otherwise tell it
+		// the round passed so it resyncs.
+		if args.Round == s.lastRound {
+			res, ok := s.lastResults[args.ClientID]
+			s.mu.Unlock()
+			if ok {
+				*reply = res
+				return nil
+			}
+			return fmt.Errorf("%s: client %d missed round %d", msgRoundPassed, args.ClientID, args.Round)
+		}
+		if args.Round < s.round {
+			s.mu.Unlock()
+			return fmt.Errorf("%s: client %d is on round %d, server on %d", msgRoundPassed, args.ClientID, args.Round, s.round)
+		}
 		s.mu.Unlock()
-		return fmt.Errorf("fednet: client %d is on round %d, server on %d", args.ClientID, args.Round, s.round)
+		return fmt.Errorf("fednet: client %d is ahead on round %d, server on %d", args.ClientID, args.Round, s.round)
 	}
-	if _, dup := s.pending[args.ClientID]; dup {
+	if len(args.Upload) != len(s.global) {
 		s.mu.Unlock()
-		return fmt.Errorf("fednet: duplicate upload from client %d", args.ClientID)
+		return fmt.Errorf("%s: length %d, want %d (client %d)", msgBadUpload, len(args.Upload), len(s.global), args.ClientID)
 	}
-	s.pending[args.ClientID] = append(fed.Payload(nil), args.Upload...)
+	if _, dup := s.pending[args.ClientID]; !dup {
+		// First-wins: a duplicate from a retrying client changes nothing.
+		s.pending[args.ClientID] = append(fed.Payload(nil), args.Upload...)
+		if len(s.pending) == 1 && s.cfg.RoundTimeout > 0 {
+			round := s.round
+			s.timer = time.AfterFunc(s.cfg.RoundTimeout, func() { s.deadline(round) })
+		}
+	}
 	done := s.roundDone
 	if len(s.pending) == s.cfg.Clients {
-		s.aggregateLocked()
+		s.aggregateLocked(false)
 		close(done)
 	}
 	s.mu.Unlock()
@@ -214,7 +331,7 @@ func (h *rpcHandler) Sync(args SyncArgs, reply *SyncReply) error {
 	<-done
 
 	s.mu.Lock()
-	res, ok := s.results[args.ClientID]
+	res, ok := s.lastResults[args.ClientID]
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("fednet: no result for client %d", args.ClientID)
@@ -223,40 +340,73 @@ func (h *rpcHandler) Sync(args SyncArgs, reply *SyncReply) error {
 	return nil
 }
 
-// aggregateLocked runs one aggregation; the caller holds s.mu.
-func (s *Server) aggregateLocked() {
-	n := s.cfg.Clients
-	// Participant selection mirrors fed.Federation: identity order at full
-	// participation, a seeded shuffle otherwise.
+// deadline closes round r with whoever arrived, if it is still open.
+func (s *Server) deadline(r int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.round != r || len(s.pending) == 0 {
+		return // the round already closed on a full barrier
+	}
+	done := s.roundDone
+	s.aggregateLocked(true)
+	close(done)
+}
+
+// aggregateLocked runs one aggregation over the arrived uploads; the caller
+// holds s.mu. At a full barrier the selection is identical to the
+// in-process fed.Federation (identity order at full participation, seeded
+// shuffle otherwise); on a timed-out round the K participants are drawn
+// from the arrivals only, each carrying equal weight.
+func (s *Server) aggregateLocked(timedOut bool) {
+	arrived := make([]int, 0, len(s.pending))
+	for id := range s.pending {
+		arrived = append(arrived, id)
+	}
+	sort.Ints(arrived)
+
 	var participants []int
-	if s.cfg.K >= n {
-		participants = make([]int, n)
-		for i := range participants {
-			participants[i] = i
-		}
+	if s.cfg.K >= len(arrived) {
+		participants = arrived
 	} else {
-		participants = s.rng.Perm(n)[:s.cfg.K]
+		idx := s.rng.Perm(len(arrived))[:s.cfg.K]
+		participants = make([]int, len(idx))
+		for i, j := range idx {
+			participants[i] = arrived[j]
+		}
 	}
 	uploads := make([]fed.Payload, len(participants))
 	for i, id := range participants {
 		uploads[i] = s.pending[id]
 	}
-	personalized, global := s.cfg.Aggregator.Aggregate(uploads)
+	personalized, global := fed.AggregatePartial(s.cfg.Aggregator, uploads, s.global)
 	s.global = global
 
-	s.results = make(map[int]SyncReply, n)
+	results := make(map[int]SyncReply, len(arrived))
 	isParticipant := map[int]int{}
 	for i, id := range participants {
 		isParticipant[id] = i
 	}
-	for id := 0; id < n; id++ {
+	for _, id := range arrived {
 		if slot, ok := isParticipant[id]; ok {
-			s.results[id] = SyncReply{Payload: personalized[slot], Participant: true}
+			results[id] = SyncReply{Payload: personalized[slot], Participant: true}
 		} else {
-			s.results[id] = SyncReply{Payload: append(fed.Payload(nil), s.global...)}
+			results[id] = SyncReply{Payload: append(fed.Payload(nil), s.global...)}
 		}
 	}
+	s.reports = append(s.reports, RoundInfo{
+		Round:        s.round,
+		Expected:     s.cfg.Clients,
+		Arrived:      len(arrived),
+		Participants: len(participants),
+		TimedOut:     timedOut,
+	})
+	s.lastRound = s.round
+	s.lastResults = results
 	s.pending = map[int]fed.Payload{}
 	s.round++
 	s.roundDone = make(chan struct{})
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
 }

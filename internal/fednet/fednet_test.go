@@ -30,6 +30,16 @@ func newLocalClient(t *testing.T, id int, seed int64) *fed.Client {
 	return c
 }
 
+// mustUpload extracts a payload, failing the test on error.
+func mustUpload(t *testing.T, tr fed.Transport, c *fed.Client) fed.Payload {
+	t.Helper()
+	p, err := tr.Upload(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 // startServer boots a server for n clients with the given aggregator and
 // returns its address.
 func startServer(t *testing.T, n, k int, agg fed.Aggregator, initial fed.Payload) (*Server, string) {
@@ -64,7 +74,7 @@ func TestNetworkedFederationEndToEnd(t *testing.T) {
 	const n = 3
 	transport := fed.PublicCriticTransport{}
 	ref := newLocalClient(t, 99, 5)
-	initial := transport.Upload(ref)
+	initial := mustUpload(t, transport, ref)
 	srv, addr := startServer(t, n, n, fed.FedAvg{}, initial)
 
 	var wg sync.WaitGroup
@@ -95,7 +105,7 @@ func TestNetworkedFederationEndToEnd(t *testing.T) {
 	// Under full-participation FedAvg every client ends on the global model.
 	global := srv.Global()
 	for i, rc := range clients {
-		got := transport.Upload(rc.Local)
+		got := mustUpload(t, transport, rc.Local)
 		for d := range global {
 			if got[d] != global[d] {
 				t.Fatalf("client %d out of sync with server global", i)
@@ -135,7 +145,7 @@ func TestNetworkedMatchesInProcessRound(t *testing.T) {
 
 	// Networked run with identical clients and initial global.
 	netClients := mkClients()
-	initial := transport.Upload(netClients[0])
+	initial := mustUpload(t, transport, netClients[0])
 	srv, addr := startServer(t, n, n, fed.FedAvg{}, initial)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -170,7 +180,7 @@ func TestPartialParticipationOverNetwork(t *testing.T) {
 	const n, k = 4, 2
 	transport := fed.PublicCriticTransport{}
 	ref := newLocalClient(t, 99, 60)
-	srv, addr := startServer(t, n, k, fed.NewAttention(3), transport.Upload(ref))
+	srv, addr := startServer(t, n, k, fed.NewAttention(3), mustUpload(t, transport, ref))
 
 	var wg sync.WaitGroup
 	participants := 0
@@ -186,7 +196,7 @@ func TestPartialParticipationOverNetwork(t *testing.T) {
 			defer wg.Done()
 			local.TrainEpisodes(1)
 			var reply SyncReply
-			args := SyncArgs{ClientID: rc.ID(), Round: 0, Upload: transport.Upload(local)}
+			args := SyncArgs{ClientID: rc.ID(), Round: 0, Upload: mustUpload(t, transport, local)}
 			if err := rc.rpc.Call("Federation.Sync", args, &reply); err != nil {
 				t.Error(err)
 				return
@@ -211,7 +221,7 @@ func TestPartialParticipationOverNetwork(t *testing.T) {
 func TestJoinRejectsOverflow(t *testing.T) {
 	transport := fed.PublicCriticTransport{}
 	ref := newLocalClient(t, 99, 70)
-	_, addr := startServer(t, 1, 1, fed.FedAvg{}, transport.Upload(ref))
+	_, addr := startServer(t, 1, 1, fed.FedAvg{}, mustUpload(t, transport, ref))
 	c1 := newLocalClient(t, 0, 71)
 	rc, err := Dial(addr, c1, transport)
 	if err != nil {
@@ -227,7 +237,7 @@ func TestJoinRejectsOverflow(t *testing.T) {
 func TestSyncRejectsBadRequests(t *testing.T) {
 	transport := fed.PublicCriticTransport{}
 	ref := newLocalClient(t, 99, 80)
-	_, addr := startServer(t, 2, 2, fed.FedAvg{}, transport.Upload(ref))
+	_, addr := startServer(t, 2, 2, fed.FedAvg{}, mustUpload(t, transport, ref))
 	local := newLocalClient(t, 0, 81)
 	rc, err := Dial(addr, local, transport)
 	if err != nil {

@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzLoadCheckpoint feeds arbitrary bytes to the MLP deserializer.
+// Malformed input must produce an error — never a panic, and never an
+// attempt to build the declared architecture before it is validated.
+func FuzzLoadCheckpoint(f *testing.F) {
+	var buf bytes.Buffer
+	m := NewMLP(rand.New(rand.NewSource(1)), "seed", []int{3, 4, 2}, ActTanh, 1.0)
+	if err := SaveMLP(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"format":"pfrl-dm/mlp/v1","sizes":[2,-1],"activation":"tanh","params":[]}`))
+	f.Add([]byte(`{"format":"pfrl-dm/mlp/v1","sizes":[65536,65536],"activation":"relu","params":[]}`))
+	f.Add([]byte(`{"format":"pfrl-dm/mlp/v1","sizes":[2],"activation":"none","params":[1,2]}`))
+	f.Add([]byte(`{"format":"wrong"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := LoadMLP(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must round-trip: a Load→Save→Load cycle may not
+		// fail or change the architecture.
+		var out bytes.Buffer
+		if err := SaveMLP(&out, loaded); err != nil {
+			t.Fatalf("accepted checkpoint failed to re-save: %v", err)
+		}
+		again, err := LoadMLP(&out)
+		if err != nil {
+			t.Fatalf("re-saved checkpoint failed to re-load: %v", err)
+		}
+		a, b := loaded.Sizes(), again.Sizes()
+		if len(a) != len(b) {
+			t.Fatalf("round-trip changed depth: %v vs %v", a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round-trip changed sizes: %v vs %v", a, b)
+			}
+		}
+	})
+}

@@ -60,8 +60,33 @@ func LoadAgent(r io.Reader, rng *rand.Rand) (Agent, error) {
 	if ck.Format != agentFormat {
 		return nil, fmt.Errorf("rl: unknown agent checkpoint format %q", ck.Format)
 	}
+	// Validate the declared architecture and payload lengths before
+	// constructing anything: NewPPO/NewDualCriticPPO trust their Config,
+	// so a hostile checkpoint must be stopped here, with an error. The
+	// constructors apply withDefaults, so validate the defaulted shape.
+	cfg := ck.Cfg.withDefaults()
+	actorN, err := nn.CheckSizes(cfg.actorSizes())
+	if err != nil {
+		return nil, fmt.Errorf("rl: checkpoint actor: %w", err)
+	}
+	criticN, err := nn.CheckSizes(cfg.criticSizes())
+	if err != nil {
+		return nil, fmt.Errorf("rl: checkpoint critic: %w", err)
+	}
+	if len(ck.Actor) != actorN {
+		return nil, fmt.Errorf("rl: checkpoint carries %d actor params, architecture needs %d", len(ck.Actor), actorN)
+	}
+	checkCritic := func(name string, got []float64) error {
+		if len(got) != criticN {
+			return fmt.Errorf("rl: checkpoint carries %d %s params, architecture needs %d", len(got), name, criticN)
+		}
+		return nil
+	}
 	switch ck.Kind {
 	case "ppo":
+		if err := checkCritic("critic", ck.Critic); err != nil {
+			return nil, err
+		}
 		a := NewPPO(ck.Cfg, rng)
 		if err := nn.LoadFlatParams(a.Actor, ck.Actor); err != nil {
 			return nil, err
@@ -71,6 +96,12 @@ func LoadAgent(r io.Reader, rng *rand.Rand) (Agent, error) {
 		}
 		return a, nil
 	case "dual-critic":
+		if err := checkCritic("local critic", ck.LocalCritic); err != nil {
+			return nil, err
+		}
+		if err := checkCritic("public critic", ck.PublicCritic); err != nil {
+			return nil, err
+		}
 		a := NewDualCriticPPO(ck.Cfg, rng)
 		a.Alpha = ck.Alpha
 		if err := nn.LoadFlatParams(a.Actor, ck.Actor); err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -102,8 +103,10 @@ func parseCSVTask(rec []string) (Task, error) {
 		return t, fmt.Errorf("negative arrival %d", t.Arrival)
 	case t.CPU < 1:
 		return t, fmt.Errorf("non-positive cpu %d", t.CPU)
-	case t.Mem <= 0:
-		return t, fmt.Errorf("non-positive mem %v", t.Mem)
+	case !(t.Mem > 0) || math.IsInf(t.Mem, 1):
+		// The negated comparison also catches NaN, which a plain
+		// t.Mem <= 0 would let through.
+		return t, fmt.Errorf("non-positive or non-finite mem %v", t.Mem)
 	case t.Duration < 1:
 		return t, fmt.Errorf("non-positive duration %d", t.Duration)
 	}
