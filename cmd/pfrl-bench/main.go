@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -53,11 +54,25 @@ func main() {
 		smooth   = flag.Int("smooth", 5, "moving-average window for printed curves")
 		csvDir   = flag.String("csv", "", "also write raw curve series as CSV files into this directory")
 		benchDir = flag.String("benchdir", "", "write perf results as BENCH_<name>.json files into this directory")
+		events   = flag.String("events", "", "append JSONL training/federation events to this file (empty = disabled)")
 	)
 	flag.Parse()
 	if *exp == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sink := obs.NewJSONL(f)
+		obs.SetSink(sink)
+		defer func() {
+			if err := sink.Err(); err != nil {
+				log.Printf("events: %v", err)
+			}
+		}()
 	}
 	bc := benchConfig{seed: *seed, scale: *scale, tasks: *tasks, episodes: *episodes, comm: *comm, smooth: *smooth, csvDir: *csvDir, benchDir: *benchDir}
 	for _, dir := range []string{bc.csvDir, bc.benchDir} {

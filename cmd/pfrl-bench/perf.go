@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/rl"
 	"repro/internal/tensor"
 	"repro/internal/trace"
@@ -115,20 +116,89 @@ func runPerf(bc benchConfig) error {
 		fmt.Printf("tensor pool: %d gets, %d recycled (%.1f%% hit rate)\n",
 			gets, hits, 100*float64(hits)/float64(gets))
 	}
+	return runTrainPhases(bc)
+}
+
+// phasesResult is the schema of the BENCH_TrainPhases.json artifact: the
+// per-phase wall-clock breakdown of a small end-to-end federated run.
+type phasesResult struct {
+	Name             string  `json:"name"`
+	Algorithm        string  `json:"algorithm"`
+	ClientCount      int     `json:"clients"`
+	Episodes         int     `json:"episodes"`
+	RolloutSeconds   float64 `json:"rollout_seconds"`
+	UpdateSeconds    float64 `json:"update_seconds"`
+	AggregateSeconds float64 `json:"aggregate_seconds"`
+	CommSeconds      float64 `json:"comm_seconds"`
+	TotalSeconds     float64 `json:"total_seconds"`
+}
+
+// runTrainPhases measures where a small PFRL-DM training run spends its
+// time, using the phase timers surfaced on core.TrainResult. The run is
+// sequential so the process-wide timer deltas attribute exactly to it.
+func runTrainPhases(bc benchConfig) error {
+	cfg := core.DefaultExperiment(bc.seed)
+	cfg.Specs = cfg.Specs[:4]
+	cfg.TasksPerClient = 40
+	cfg.Episodes = 6
+	cfg.CommEvery = 2
+	cfg.EpisodeStepCap = 5 * cfg.TasksPerClient
+	cfg.Parallel = false
+	res, err := core.Train(core.AlgPFRLDM, cfg)
+	if err != nil {
+		return err
+	}
+	p := res.Phases
+	out := phasesResult{
+		Name:             "TrainPhases",
+		Algorithm:        res.Algorithm.String(),
+		ClientCount:      len(cfg.Specs),
+		Episodes:         cfg.Episodes,
+		RolloutSeconds:   p.Rollout.Seconds(),
+		UpdateSeconds:    p.Update.Seconds(),
+		AggregateSeconds: p.Aggregate.Seconds(),
+		CommSeconds:      p.Comm.Seconds(),
+		TotalSeconds:     p.Total().Seconds(),
+	}
+	fmt.Printf("\nphase breakdown (%s, %d clients x %d episodes, sequential):\n",
+		out.Algorithm, out.ClientCount, out.Episodes)
+	t := trace.NewTable("phase", "seconds", "share")
+	for _, row := range []struct {
+		name string
+		sec  float64
+	}{
+		{"rollout", out.RolloutSeconds},
+		{"update", out.UpdateSeconds},
+		{"aggregate", out.AggregateSeconds},
+		{"comm", out.CommSeconds},
+	} {
+		share := 0.0
+		if out.TotalSeconds > 0 {
+			share = 100 * row.sec / out.TotalSeconds
+		}
+		t.AddRow(row.name, row.sec, fmt.Sprintf("%.1f%%", share))
+	}
+	fmt.Print(t.String())
+	bc.writeJSON("BENCH_TrainPhases.json", out)
 	return nil
 }
 
 // writeBenchJSON dumps one benchmark result as BENCH_<name>.json when
 // -benchdir is set; errors are fatal like writeCSV's.
 func (bc benchConfig) writeBenchJSON(res benchResult) {
+	bc.writeJSON("BENCH_"+res.Name+".json", res)
+}
+
+// writeJSON marshals v into -benchdir under the given filename.
+func (bc benchConfig) writeJSON(filename string, v any) {
 	if bc.benchDir == "" {
 		return
 	}
-	data, err := json.MarshalIndent(res, "", "  ")
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
-	path := filepath.Join(bc.benchDir, "BENCH_"+res.Name+".json")
+	path := filepath.Join(bc.benchDir, filename)
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}

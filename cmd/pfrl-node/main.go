@@ -54,8 +54,28 @@ func main() {
 			"client/demo: injected transport faults, e.g. drop=0.1,delay=0.05:20ms,dup=0.02,corrupt=0.01,seed=7")
 		rejoin = flag.Int("rejoin", -1,
 			"client: reclaim this client id after a restart instead of registering anew")
+		// Observability knobs.
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve Prometheus /metrics and /debug/pprof/ on this address (empty = disabled)")
+		events = flag.String("events", "",
+			"append JSONL training/federation events to this file (empty = disabled)")
 	)
 	flag.Parse()
+
+	if bound, err := startMetrics(*metricsAddr); err != nil {
+		log.Fatal(err)
+	} else if bound != "" {
+		fmt.Printf("metrics on http://%s/metrics (profiles on /debug/pprof/)\n", bound)
+	}
+	if sink, err := openEvents(*events); err != nil {
+		log.Fatal(err)
+	} else if sink != nil {
+		defer func() {
+			if err := sink.Err(); err != nil {
+				log.Printf("events: %v", err)
+			}
+		}()
+	}
 
 	faults, err := fed.ParseFaultSpec(*faultSpec)
 	if err != nil {

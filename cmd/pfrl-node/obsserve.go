@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// startMetrics binds addr and serves the Prometheus text exposition at
+// /metrics plus the stdlib profiling endpoints under /debug/pprof/. An empty
+// addr disables the endpoint. Returns the bound address (useful with :0).
+func startMetrics(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.DefaultRegistry())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metrics listener on %s: %w", addr, err)
+	}
+	obs.DefaultRegistry().Gauge("pfrl_up", "1 while the node process is serving").Set(1)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}
+
+// openEvents installs a JSONL event sink appending to path, activating the
+// structured event stream across the whole stack. An empty path keeps the
+// default no-op sink (zero overhead).
+func openEvents(path string) (*obs.JSONLSink, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("events file: %w", err)
+	}
+	s := obs.NewJSONL(f)
+	obs.SetSink(s)
+	return s, nil
+}

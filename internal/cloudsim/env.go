@@ -227,6 +227,14 @@ func (e *Env) Done() bool {
 	return len(e.completed) == e.totalTasks || e.step >= e.cfg.MaxSteps
 }
 
+// Truncated reports whether the episode ended on the MaxSteps cap with work
+// still outstanding — a horizon cut, not a terminal. The scheduling MDP
+// would have kept running, so value estimation should bootstrap the tail
+// (see rl.Truncator) instead of treating the unfinished tasks as worthless.
+func (e *Env) Truncated() bool {
+	return e.step >= e.cfg.MaxSteps && len(e.completed) != e.totalTasks
+}
+
 // FeasibleActions returns a mask over the action space: placements that fit
 // the head task, plus Wait (always allowed). With an empty queue only Wait
 // is feasible.
@@ -284,6 +292,9 @@ func (e *Env) Step(action int) float64 {
 		reward := 0.0
 		if hasHead && e.anyFeasiblePlacement() {
 			reward = e.cfg.LazyPenalty
+			mSimLazyWaits.Inc()
+		} else {
+			mSimIdleWaits.Inc()
 		}
 		e.advanceTime()
 		return reward
@@ -293,11 +304,13 @@ func (e *Env) Step(action int) float64 {
 		// Invalid: denied and penalized by the target VM's utilization
 		// (Eq. 9). Void VM slots count as fully utilized.
 		reward := e.invalidPenalty(action)
+		mSimInvalid.Inc()
 		e.advanceTime()
 		return reward
 	}
 
 	// Valid placement.
+	mSimPlacements.Inc()
 	vm := e.vms[action]
 	before := e.loadBalance()
 	wasBusy := vm.RunningTasks() > 0

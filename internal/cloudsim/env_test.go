@@ -45,6 +45,34 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+func TestEnvTruncatedDistinguishesCapFromCompletion(t *testing.T) {
+	cfg := twoVMConfig()
+	cfg.MaxSteps = 2
+	env := MustNewEnv(cfg, simpleTasks())
+	if env.Done() || env.Truncated() {
+		t.Fatal("fresh episode must be neither done nor truncated")
+	}
+	wait := env.WaitAction()
+	env.Step(wait)
+	env.Step(wait)
+	if !env.Done() || !env.Truncated() {
+		t.Fatalf("step cap with outstanding tasks must be a truncation (done=%v truncated=%v)",
+			env.Done(), env.Truncated())
+	}
+
+	// A completed workload at the same step count is a true terminal.
+	cfg2 := twoVMConfig()
+	cfg2.MaxSteps = 50
+	env2 := MustNewEnv(cfg2, simpleTasks()[:1])
+	env2.Step(1) // place the only task on the big VM
+	for !env2.Done() {
+		env2.Step(env2.WaitAction())
+	}
+	if env2.Truncated() {
+		t.Fatal("a fully completed workload is terminal, not truncated")
+	}
+}
+
 func TestEnvInitialState(t *testing.T) {
 	env := MustNewEnv(twoVMConfig(), simpleTasks())
 	if env.Now() != 0 {

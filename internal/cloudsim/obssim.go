@@ -1,0 +1,21 @@
+package cloudsim
+
+import "repro/internal/obs"
+
+// Step-outcome counters, registered into the default registry. Each Step
+// takes exactly one branch, so pfrl_sim_placements_total +
+// pfrl_sim_invalid_placements_total + pfrl_sim_lazy_waits_total +
+// pfrl_sim_idle_waits_total equals the total simulator steps. Counter bumps
+// are single atomic adds and never allocate.
+var (
+	simReg = obs.DefaultRegistry()
+
+	mSimPlacements = simReg.Counter("pfrl_sim_placements_total",
+		"valid task placements executed by the simulator")
+	mSimInvalid = simReg.Counter("pfrl_sim_invalid_placements_total",
+		"placements denied (void VM, out-of-range, or insufficient resources)")
+	mSimLazyWaits = simReg.Counter("pfrl_sim_lazy_waits_total",
+		"Wait actions taken while a feasible placement existed")
+	mSimIdleWaits = simReg.Counter("pfrl_sim_idle_waits_total",
+		"Wait actions with nothing placeable (empty queue or no feasible VM)")
+)

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/fed"
+	"repro/internal/obs"
 	"repro/internal/rl"
 	"repro/internal/tensor"
 	"repro/internal/workload"
@@ -303,6 +304,12 @@ type TrainResult struct {
 	// Faults counts the transport faults injected during the run (zero
 	// unless ExperimentConfig.Faults was active).
 	Faults fed.FaultStats
+	// Phases breaks the run's wall-clock down by pipeline stage
+	// (rollout/update/aggregate/comm), diffed from the process-wide phase
+	// timers like the pool stats: with Parallel clients the totals sum time
+	// across goroutines, and attribution is exact only for sequential Train
+	// calls (how the bench harness runs them).
+	Phases obs.PhaseTimes
 }
 
 // recordPoolStats fills the pool-traffic fields from a Stats snapshot taken
@@ -350,11 +357,13 @@ func Train(alg Algorithm, cfg ExperimentConfig) (*TrainResult, error) {
 	}
 	res := &TrainResult{Algorithm: alg, Clients: clients, Data: data}
 	startGets, startHits := tensor.DefaultPool().Stats()
+	phaseStart := obs.GlobalTimers().Snapshot()
 
 	if alg == AlgPPO {
 		trainIndependent(clients, cfg.Episodes, cfg.Parallel)
 		res.MeanCurve = fed.MeanRewardCurve(clients)
 		res.recordPoolStats(startGets, startHits)
+		res.Phases = obs.GlobalTimers().Snapshot().Sub(phaseStart)
 		return res, nil
 	}
 
@@ -414,6 +423,7 @@ func Train(alg Algorithm, cfg ExperimentConfig) (*TrainResult, error) {
 	}
 	res.MeanCurve = fed.MeanRewardCurve(clients)
 	res.recordPoolStats(startGets, startHits)
+	res.Phases = obs.GlobalTimers().Snapshot().Sub(phaseStart)
 	return res, nil
 }
 

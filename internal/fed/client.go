@@ -17,8 +17,10 @@ package fed
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/cloudsim"
+	"repro/internal/obs"
 	"repro/internal/rl"
 	"repro/internal/workload"
 )
@@ -73,6 +75,12 @@ func NewClient(id int, name string, cfg cloudsim.Config, tasks []workload.Task, 
 // TrainEpisodes runs n on-policy episodes with local updates, appending to
 // the client's reward curve. The last episode's buffer is retained in
 // LastBuf for loss probes.
+//
+// Each episode feeds the observability layer: rollout/update wall-clock
+// accumulates into the global phase timers, the shared episode counter and
+// latency histograms advance, and — only when an event sink is installed —
+// an "episode" event with the update statistics is emitted. None of this
+// touches the agents' RNG streams, so instrumented runs stay bit-identical.
 func (c *Client) TrainEpisodes(n int) {
 	for i := 0; i < n; i++ {
 		var env rl.Environment
@@ -84,11 +92,40 @@ func (c *Client) TrainEpisodes(n int) {
 			env = c.Env
 		}
 		c.LastBuf.Reset()
+		rolloutStart := time.Now()
 		total := rl.CollectEpisode(env, c.Agent, &c.LastBuf)
-		c.Agent.Update(&c.LastBuf)
+		rolloutDur := time.Since(rolloutStart)
+		updateStart := time.Now()
+		stats := c.Agent.Update(&c.LastBuf)
+		updateDur := time.Since(updateStart)
+		obs.GlobalTimers().Add(obs.PhaseRollout, rolloutDur)
+		obs.GlobalTimers().Add(obs.PhaseUpdate, updateDur)
+		mEpisodes.Inc()
+		hRollout.Observe(rolloutDur.Seconds())
+		hUpdate.Observe(updateDur.Seconds())
 		c.Rewards = append(c.Rewards, total)
 		if d, ok := c.Agent.(*rl.DualCriticPPO); ok {
 			c.AlphaHistory = append(c.AlphaHistory, d.Alpha)
+		}
+		if obs.Active() {
+			e := obs.E("episode").At(c.ID, -1, len(c.Rewards)-1).
+				F("reward", total).
+				F("steps", float64(c.LastBuf.Len())).
+				F("actor_loss", stats.ActorLoss).
+				F("critic_loss", stats.CriticLoss).
+				F("entropy", stats.Entropy).
+				F("approx_kl", stats.ApproxKL).
+				F("clip_frac", stats.ClipFrac).
+				F("rollout_seconds", rolloutDur.Seconds()).
+				F("update_seconds", updateDur.Seconds())
+			if d, ok := c.Agent.(*rl.DualCriticPPO); ok {
+				e.F("alpha", d.Alpha)
+			}
+			if c.TrainEnv == nil {
+				m := c.Env.Metrics()
+				e.F("completed", float64(m.Completed)).F("total_tasks", float64(m.Total))
+			}
+			obs.Emit(e)
 		}
 	}
 }

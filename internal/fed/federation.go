@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // RoundReport records who actually contributed to one aggregation round —
@@ -148,10 +151,13 @@ func (f *Federation) RunRound() error {
 	}
 	report := RoundReport{Round: f.Rounds, Selected: len(selected)}
 	expect := len(f.Global)
+	var commDur time.Duration
 	var participants []int // selected clients whose upload made it
 	var uploads []Payload
 	for _, idx := range selected {
+		callStart := time.Now()
 		u, err := f.Transport.Upload(f.Clients[idx])
+		commDur += time.Since(callStart)
 		switch {
 		case errors.Is(err, ErrInjectedFault):
 			report.UploadDrops++
@@ -168,7 +174,9 @@ func (f *Federation) RunRound() error {
 		f.comm.UploadScalars += int64(len(u))
 	}
 	report.Participants = len(uploads)
+	aggStart := time.Now()
 	personalized, global := AggregatePartial(f.Agg, uploads, f.Global)
+	aggDur := time.Since(aggStart)
 	f.Global = global
 
 	isParticipant := make(map[int]int, len(participants)) // client index -> upload slot
@@ -183,7 +191,9 @@ func (f *Federation) RunRound() error {
 		} else {
 			payload = f.Global
 		}
+		callStart := time.Now()
 		err := f.Transport.Download(c, payload)
+		commDur += time.Since(callStart)
 		switch {
 		case errors.Is(err, ErrInjectedFault):
 			report.DownloadDrops++
@@ -197,6 +207,23 @@ func (f *Federation) RunRound() error {
 	f.Rounds++
 	f.Reports = append(f.Reports, report)
 	f.comm.Rounds = f.Rounds
+
+	obs.GlobalTimers().Add(obs.PhaseAggregate, aggDur)
+	obs.GlobalTimers().Add(obs.PhaseComm, commDur)
+	mRounds.Inc()
+	mUploadDrops.Add(uint64(report.UploadDrops))
+	mDownloadDrops.Add(uint64(report.DownloadDrops))
+	gParticipants.Set(float64(report.Participants))
+	hAggregate.Observe(aggDur.Seconds())
+	if obs.Active() {
+		obs.Emit(obs.E("round").At(-1, report.Round, -1).
+			F("selected", float64(report.Selected)).
+			F("participants", float64(report.Participants)).
+			F("upload_drops", float64(report.UploadDrops)).
+			F("download_drops", float64(report.DownloadDrops)).
+			F("aggregate_seconds", aggDur.Seconds()).
+			F("comm_seconds", commDur.Seconds()))
+	}
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/fed"
+	"repro/internal/obs"
 )
 
 // ErrRPCTimeout marks a call that exceeded Options.CallTimeout. The
@@ -133,6 +134,12 @@ func (c *RemoteClient) call(method string, args, reply any) error {
 		return done.Error
 	case <-t.C:
 		c.stats.Timeouts++
+		mNetTimeouts.Inc()
+		if obs.Active() {
+			obs.Emit(obs.E("rpc_timeout").At(c.id, c.round, -1).
+				S("method", method).
+				F("timeout_seconds", c.opts.CallTimeout.Seconds()))
+		}
 		c.rpc.Close()
 		return fmt.Errorf("%w: %s after %v", ErrRPCTimeout, method, c.opts.CallTimeout)
 	}
@@ -225,6 +232,7 @@ func (c *RemoteClient) syncRound() error {
 			return fmt.Errorf("giving up after %d attempts: %w", attempt+1, err)
 		}
 		c.stats.Retries++
+		c.noteRetry("sync", attempt, err)
 		c.backoff(attempt)
 		if redial {
 			if rerr := c.reconnect(); rerr != nil {
@@ -266,6 +274,10 @@ func (c *RemoteClient) resync() error {
 			} else {
 				c.round = state.Round
 				c.stats.Resyncs++
+				mNetResyncs.Inc()
+				if obs.Active() {
+					obs.Emit(obs.E("resync").At(c.id, c.round, -1))
+				}
 				return nil
 			}
 		}
@@ -275,6 +287,7 @@ func (c *RemoteClient) resync() error {
 			return fmt.Errorf("resync failed after %d attempts: %w", attempt+1, err)
 		} else {
 			c.stats.Retries++
+			c.noteRetry("resync", attempt, err)
 			c.backoff(attempt)
 			if redial {
 				if rerr := c.reconnect(); rerr != nil {
@@ -282,6 +295,18 @@ func (c *RemoteClient) resync() error {
 				}
 			}
 		}
+	}
+}
+
+// noteRetry records one re-attempted step in the metrics and, when a sink is
+// installed, as an "rpc_retry" event carrying the failing step and cause.
+func (c *RemoteClient) noteRetry(step string, attempt int, err error) {
+	mNetRetries.Inc()
+	if obs.Active() {
+		obs.Emit(obs.E("rpc_retry").At(c.id, c.round, -1).
+			S("step", step).
+			F("attempt", float64(attempt)).
+			S("error", err.Error()))
 	}
 }
 

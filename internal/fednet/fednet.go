@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/fed"
+	"repro/internal/obs"
 )
 
 // Error-message prefixes shared by server and client. net/rpc flattens
@@ -267,6 +268,7 @@ func (h *rpcHandler) Join(args JoinArgs, reply *JoinReply) error {
 	}
 	reply.Global = append(fed.Payload(nil), s.global...)
 	reply.Round = s.round
+	gNetClients.Set(float64(s.nextID))
 	return nil
 }
 
@@ -378,7 +380,9 @@ func (s *Server) aggregateLocked(timedOut bool) {
 	for i, id := range participants {
 		uploads[i] = s.pending[id]
 	}
+	aggStart := time.Now()
 	personalized, global := fed.AggregatePartial(s.cfg.Aggregator, uploads, s.global)
+	aggDur := time.Since(aggStart)
 	s.global = global
 
 	results := make(map[int]SyncReply, len(arrived))
@@ -408,5 +412,24 @@ func (s *Server) aggregateLocked(timedOut bool) {
 	if s.timer != nil {
 		s.timer.Stop()
 		s.timer = nil
+	}
+
+	obs.GlobalTimers().Add(obs.PhaseAggregate, aggDur)
+	mNetRounds.Inc()
+	if timedOut {
+		mNetTimedOut.Inc()
+	}
+	gNetRound.Set(float64(s.round))
+	hNetAggregate.Observe(aggDur.Seconds())
+	if obs.Active() {
+		e := obs.E("fednet_round").At(-1, s.lastRound, -1).
+			F("expected", float64(s.cfg.Clients)).
+			F("arrived", float64(len(arrived))).
+			F("participants", float64(len(participants))).
+			F("aggregate_seconds", aggDur.Seconds())
+		if timedOut {
+			e.F("timed_out", 1)
+		}
+		obs.Emit(e)
 	}
 }

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use; Inc/Add are single atomic adds.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets are the default histogram bounds, tuned for the stack's
+// latencies: 100µs environment episodes up through minute-scale federated
+// rounds (seconds, cumulative "le" semantics).
+var DefBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
+
+// Histogram counts observations into cumulative buckets, Prometheus-style.
+// Observe is lock-free: per-bucket atomic counters plus a CAS-looped sum.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; +Inf bucket is implicit
+	counts  []atomic.Uint64
+	total   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le is inclusive)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type metric struct {
+	name, help string
+	kind       metricKind
+	c          *Counter
+	g          *Gauge
+	h          *Histogram
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Registration is idempotent: re-registering a name
+// returns the existing instrument (so package-level vars across the stack
+// can share one default registry), but re-registering under a different
+// kind panics — that is a programming error.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*metric
+	order  []*metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: map[string]*metric{}} }
+
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry is the process-wide registry served by pfrl-node's
+// -metrics-addr endpoint. Instrumented packages register into it at init.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+func (r *Registry) register(name, help string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	}
+	r.byName[name] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter returns the counter registered under name, creating it if new.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge).g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds if new (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	if m, ok := r.byName[name]; ok {
+		r.mu.Unlock()
+		if m.kind != kindHistogram {
+			panic(fmt.Sprintf("obs: metric %q re-registered as histogram, was %v", name, m.kind))
+		}
+		return m.h
+	}
+	m := &metric{name: name, help: help, kind: kindHistogram, h: newHistogram(buckets)}
+	r.byName[name] = m
+	r.order = append(r.order, m)
+	r.mu.Unlock()
+	return m.h
+}
+
+// WriteText renders every metric in the Prometheus text exposition format,
+// in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.order...)
+	r.mu.Unlock()
+	var buf []byte
+	for _, m := range metrics {
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, m.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, m.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, m.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, m.kind.String()...)
+		buf = append(buf, '\n')
+		switch m.kind {
+		case kindCounter:
+			buf = append(buf, m.name...)
+			buf = append(buf, ' ')
+			buf = strconv.AppendUint(buf, m.c.Value(), 10)
+			buf = append(buf, '\n')
+		case kindGauge:
+			buf = append(buf, m.name...)
+			buf = append(buf, ' ')
+			buf = appendPromFloat(buf, m.g.Value())
+			buf = append(buf, '\n')
+		case kindHistogram:
+			cum := uint64(0)
+			for i, bound := range m.h.bounds {
+				cum += m.h.counts[i].Load()
+				buf = append(buf, m.name...)
+				buf = append(buf, `_bucket{le="`...)
+				buf = appendPromFloat(buf, bound)
+				buf = append(buf, `"} `...)
+				buf = strconv.AppendUint(buf, cum, 10)
+				buf = append(buf, '\n')
+			}
+			buf = append(buf, m.name...)
+			buf = append(buf, `_bucket{le="+Inf"} `...)
+			buf = strconv.AppendUint(buf, m.h.Count(), 10)
+			buf = append(buf, '\n')
+			buf = append(buf, m.name...)
+			buf = append(buf, "_sum "...)
+			buf = appendPromFloat(buf, m.h.Sum())
+			buf = append(buf, '\n')
+			buf = append(buf, m.name...)
+			buf = append(buf, "_count "...)
+			buf = strconv.AppendUint(buf, m.h.Count(), 10)
+			buf = append(buf, '\n')
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendPromFloat renders v the way Prometheus expects (NaN/Inf spelled
+// out, shortest round-trip representation otherwise).
+func appendPromFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(b, "NaN"...)
+	case math.IsInf(v, +1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// ServeHTTP implements http.Handler, serving the text exposition — mount it
+// at /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WriteText(w)
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("steps_total", "steps")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d, want 5", c.Value())
+	}
+	g := r.Gauge("round", "current round")
+	g.Set(3)
+	g.Set(-1.5)
+	if g.Value() != -1.5 {
+		t.Fatalf("gauge %v, want -1.5", g.Value())
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Fatal("re-registration must return the same counter")
+	}
+	h1 := r.Histogram("h_seconds", "h", nil)
+	h2 := r.Histogram("h_seconds", "h", nil)
+	if h1 != h2 {
+		t.Fatal("re-registration must return the same histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch should panic")
+		}
+	}()
+	r.Gauge("x_total", "now a gauge")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-102.65) > 1e-9 {
+		t.Fatalf("sum %v, want 102.65", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// le is inclusive: 0.05 and 0.1 land in le="0.1".
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counts a").Add(7)
+	r.Gauge("b", "level of b").Set(2.5)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP a_total counts a\n", "# TYPE a_total counter\n", "a_total 7\n",
+		"# HELP b level of b\n", "# TYPE b gauge\n", "b 2.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order is preserved.
+	if strings.Index(out, "a_total") > strings.Index(out, "# HELP b ") {
+		t.Fatalf("metrics out of registration order:\n%s", out)
+	}
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("up", "1 while running").Set(1)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up 1\n") {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "n")
+	h := r.Histogram("v_seconds", "v", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("counter %d histogram %d, want 8000", c.Value(), h.Count())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-9 {
+		t.Fatalf("histogram sum %v, want 8.0", h.Sum())
+	}
+}
+
+func TestDefaultRegistryShared(t *testing.T) {
+	if DefaultRegistry() != DefaultRegistry() {
+		t.Fatal("default registry must be a singleton")
+	}
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSetSinkAndActive(t *testing.T) {
+	if Active() {
+		t.Fatal("no sink installed yet, Active should be false")
+	}
+	var m MemorySink
+	prev := SetSink(&m)
+	if prev != nil {
+		t.Fatalf("previous sink should be nil, got %T", prev)
+	}
+	defer SetSink(nil)
+	if !Active() {
+		t.Fatal("Active should be true after SetSink")
+	}
+	Emit(E("test").At(3, 1, 7).F("x", 1.5))
+	got := m.Events()
+	if len(got) != 1 {
+		t.Fatalf("got %d events, want 1", len(got))
+	}
+	e := got[0]
+	if e.Type != "test" || e.Client != 3 || e.Round != 1 || e.Episode != 7 {
+		t.Fatalf("labels wrong: %+v", e)
+	}
+	fs := e.Fields()
+	if len(fs) != 1 || fs[0].Key != "x" || fs[0].Val != 1.5 {
+		t.Fatalf("fields wrong: %+v", fs)
+	}
+	if got := SetSink(nil); got != &m {
+		t.Fatalf("SetSink(nil) should return the old sink, got %T", got)
+	}
+	if Active() {
+		t.Fatal("Active should be false after SetSink(nil)")
+	}
+}
+
+func TestEmitWithoutSinkIsNoop(t *testing.T) {
+	SetSink(nil)
+	Emit(E("ignored").F("x", 1)) // must not panic
+}
+
+func TestEventFieldCap(t *testing.T) {
+	e := E("cap")
+	for i := 0; i < maxFields+5; i++ {
+		e.F("k", float64(i))
+	}
+	if len(e.Fields()) != maxFields {
+		t.Fatalf("fields should cap at %d, got %d", maxFields, len(e.Fields()))
+	}
+}
+
+func TestJSONLSinkEmitsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	s.Emit(E("episode").At(2, -1, 5).F("reward", -12.25).S("env", "google"))
+	s.Emit(E("round").At(-1, 3, -1).F("participants", 4))
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v (%s)", err, lines[0])
+	}
+	if first["type"] != "episode" || first["client"] != float64(2) || first["episode"] != float64(5) {
+		t.Fatalf("unexpected record: %v", first)
+	}
+	if _, hasRound := first["round"]; hasRound {
+		t.Fatal("unset round label must be omitted")
+	}
+	if first["reward"] != -12.25 || first["env"] != "google" {
+		t.Fatalf("payload wrong: %v", first)
+	}
+	if _, ok := first["ts"]; !ok {
+		t.Fatal("ts missing")
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["type"] != "round" || second["round"] != float64(3) {
+		t.Fatalf("unexpected record: %v", second)
+	}
+}
+
+func TestJSONLSinkNonFiniteBecomesNull(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	nan := 0.0
+	s.Emit(E("x").F("bad", nan/nan))
+	var rec map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &rec); err != nil {
+		t.Fatalf("NaN field broke JSON: %v (%s)", err, buf.String())
+	}
+	if v, ok := rec["bad"]; !ok || v != nil {
+		t.Fatalf("NaN should serialize as null, got %v", v)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errors.New("disk full")
+}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	fw := &failWriter{}
+	s := NewJSONL(fw)
+	s.Emit(E("a"))
+	s.Emit(E("b"))
+	if s.Err() == nil {
+		t.Fatal("error should be retained")
+	}
+	if fw.n != 1 {
+		t.Fatalf("writer should be called once, got %d", fw.n)
+	}
+}
+
+func TestJSONLSinkConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Emit(E("c").At(g, -1, i).F("v", float64(i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, l := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(l), &rec); err != nil {
+			t.Fatalf("interleaved write corrupted a line: %v (%s)", err, l)
+		}
+	}
+}
+
+func TestTimersSnapshotAndSub(t *testing.T) {
+	var tm Timers
+	tm.Add(PhaseRollout, 100*time.Millisecond)
+	tm.Add(PhaseUpdate, 40*time.Millisecond)
+	before := tm.Snapshot()
+	tm.Add(PhaseRollout, 10*time.Millisecond)
+	tm.Add(PhaseAggregate, 5*time.Millisecond)
+	tm.Add(PhaseComm, 1*time.Millisecond)
+	d := tm.Snapshot().Sub(before)
+	want := PhaseTimes{Rollout: 10 * time.Millisecond, Aggregate: 5 * time.Millisecond, Comm: time.Millisecond}
+	if d != want {
+		t.Fatalf("delta %+v, want %+v", d, want)
+	}
+	if d.Total() != 16*time.Millisecond {
+		t.Fatalf("total %v", d.Total())
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	names := map[Phase]string{PhaseRollout: "rollout", PhaseUpdate: "update",
+		PhaseAggregate: "aggregate", PhaseComm: "comm", Phase(99): "unknown"}
+	for p, want := range names {
+		if p.String() != want {
+			t.Fatalf("%d -> %q, want %q", p, p.String(), want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase names the training pipeline stages whose wall-clock time the stack
+// accounts for.
+type Phase int
+
+const (
+	// PhaseRollout is environment interaction: Observe / SelectAction /
+	// Value / Step across an episode.
+	PhaseRollout Phase = iota
+	// PhaseUpdate is the PPO gradient work over a collected buffer.
+	PhaseUpdate
+	// PhaseAggregate is server-side payload aggregation.
+	PhaseAggregate
+	// PhaseComm is payload movement: transport uploads and downloads.
+	PhaseComm
+	numPhases
+)
+
+// String returns the phase's display name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseRollout:
+		return "rollout"
+	case PhaseUpdate:
+		return "update"
+	case PhaseAggregate:
+		return "aggregate"
+	case PhaseComm:
+		return "comm"
+	default:
+		return "unknown"
+	}
+}
+
+// PhaseTimes is a snapshot of accumulated per-phase wall-clock time. With
+// parallel clients the phase totals sum CPU-side durations across
+// goroutines, so they can exceed elapsed wall time — they are a work
+// breakdown, not a timeline.
+type PhaseTimes struct {
+	Rollout   time.Duration
+	Update    time.Duration
+	Aggregate time.Duration
+	Comm      time.Duration
+}
+
+// Sub returns the elementwise difference p − q (the delta between two
+// snapshots).
+func (p PhaseTimes) Sub(q PhaseTimes) PhaseTimes {
+	return PhaseTimes{
+		Rollout:   p.Rollout - q.Rollout,
+		Update:    p.Update - q.Update,
+		Aggregate: p.Aggregate - q.Aggregate,
+		Comm:      p.Comm - q.Comm,
+	}
+}
+
+// Total sums the four phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.Rollout + p.Update + p.Aggregate + p.Comm
+}
+
+// Timers accumulates per-phase durations with atomic adds — safe for
+// concurrent clients, zero allocations.
+type Timers struct{ ns [numPhases]atomic.Int64 }
+
+// Add accumulates d into phase p.
+func (t *Timers) Add(p Phase, d time.Duration) { t.ns[p].Add(int64(d)) }
+
+// Snapshot returns the current totals.
+func (t *Timers) Snapshot() PhaseTimes {
+	return PhaseTimes{
+		Rollout:   time.Duration(t.ns[PhaseRollout].Load()),
+		Update:    time.Duration(t.ns[PhaseUpdate].Load()),
+		Aggregate: time.Duration(t.ns[PhaseAggregate].Load()),
+		Comm:      time.Duration(t.ns[PhaseComm].Load()),
+	}
+}
+
+// globalTimers is the process-wide accumulator. Like the tensor pool's
+// stats, attribution across concurrent Train calls is exact only for
+// sequential runs; callers snapshot before/after and diff.
+var globalTimers Timers
+
+// GlobalTimers returns the process-wide phase timers.
+func GlobalTimers() *Timers { return &globalTimers }

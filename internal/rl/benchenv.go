@@ -92,6 +92,13 @@ func (e *SyntheticEnv) Step(action int) float64 {
 // Done implements Environment.
 func (e *SyntheticEnv) Done() bool { return e.t >= e.horizon }
 
+// Truncated implements Truncator: the horizon cut is always a truncation —
+// the bandit has no terminal state. After the cut, Observe returns the final
+// context (refresh is skipped once Done), which stands in for the successor
+// state; for a contextual bandit the critic's value of any context is an
+// equally valid continuation estimate.
+func (e *SyntheticEnv) Truncated() bool { return e.t >= e.horizon }
+
 // StateDim implements Environment.
 func (e *SyntheticEnv) StateDim() int { return e.stateDim }
 
@@ -102,4 +109,7 @@ func (e *SyntheticEnv) NumActions() int { return e.numActions }
 // across steps.
 func (e *SyntheticEnv) FeasibleActions() []bool { return e.feasible }
 
-var _ Environment = (*SyntheticEnv)(nil)
+var (
+	_ Environment = (*SyntheticEnv)(nil)
+	_ Truncator   = (*SyntheticEnv)(nil)
+)

@@ -15,12 +15,27 @@ type Transition struct {
 	Reward  float64
 	LogProb float64 // log π_old(a|s) at collection time
 	Value   float64 // V(s) estimate at collection time (blended for dual-critic)
-	Done    bool    // episode terminated after this transition
+	Done    bool    // episode ended after this transition (terminal or truncated)
+
+	// Truncated marks a Done transition whose episode was cut by a horizon
+	// or step cap rather than reaching a true terminal state. The MDP would
+	// have continued, so advantage and return estimation bootstrap the tail
+	// with Bootstrap instead of zero — a zero bootstrap at a cut treats the
+	// remaining return as worthless and biases every advantage upstream of
+	// the boundary.
+	Truncated bool
+	// Bootstrap is the critic's estimate V(s_{t+1}) of the state after a
+	// truncated transition (recorded by the collector); ignored unless
+	// Truncated is set.
+	Bootstrap float64
 }
 
 // Buffer accumulates an on-policy trajectory batch.
 type Buffer struct {
 	steps []Transition
+	// tailValue bootstraps a batch whose final transition is not Done — a
+	// mid-episode batch cut without an environment signal (see SetTailValue).
+	tailValue float64
 }
 
 // Add appends one transition.
@@ -30,22 +45,46 @@ func (b *Buffer) Add(t Transition) { b.steps = append(b.steps, t) }
 func (b *Buffer) Len() int { return len(b.steps) }
 
 // Reset clears the buffer, retaining capacity.
-func (b *Buffer) Reset() { b.steps = b.steps[:0] }
+func (b *Buffer) Reset() {
+	b.steps = b.steps[:0]
+	b.tailValue = 0
+}
 
 // Steps exposes the stored transitions (read-only use expected).
 func (b *Buffer) Steps() []Transition { return b.steps }
 
-// Returns computes the discounted return-to-go G_t for every step, resetting
-// at episode boundaries (Done flags).
+// SetTailValue supplies V(s_T), the critic's estimate of the state after
+// the final stored transition, for a batch cut mid-episode: agents pass it
+// when the last transition is not Done so GAE and Returns can bootstrap
+// the open tail instead of assuming a zero continuation. It is ignored
+// when the buffer ends on an episode boundary (Done), where the
+// per-transition Truncated/Bootstrap fields govern. Reset clears it.
+func (b *Buffer) SetTailValue(v float64) { b.tailValue = v }
+
+// TailValue returns the bootstrap value installed by SetTailValue.
+func (b *Buffer) TailValue() float64 { return b.tailValue }
+
+// Returns computes the discounted return-to-go G_t for every step,
+// resetting at episode boundaries (Done flags). Truncated boundaries and an
+// open (non-Done) tail bootstrap with the recorded critic estimates; only
+// true terminals contribute a zero continuation.
 func (b *Buffer) Returns(gamma float64) []float64 {
 	n := len(b.steps)
 	g := make([]float64, n)
 	acc := 0.0
+	if n > 0 && !b.steps[n-1].Done {
+		acc = b.tailValue
+	}
 	for i := n - 1; i >= 0; i-- {
-		if b.steps[i].Done {
-			acc = 0
+		s := b.steps[i]
+		if s.Done {
+			if s.Truncated {
+				acc = s.Bootstrap
+			} else {
+				acc = 0
+			}
 		}
-		acc = b.steps[i].Reward + gamma*acc
+		acc = s.Reward + gamma*acc
 		g[i] = acc
 	}
 	return g
@@ -54,7 +93,14 @@ func (b *Buffer) Returns(gamma float64) []float64 {
 // GAE computes Generalized Advantage Estimation with the stored value
 // estimates, resetting at episode boundaries. It returns (advantages,
 // valueTargets) where valueTargets[i] = advantages[i] + Value[i] (the
-// λ-return critic target). Terminal states bootstrap with value 0.
+// λ-return critic target).
+//
+// The successor value V(s_{t+1}) in δ_t = r_t + γ·V(s_{t+1}) − V(s_t) is:
+// zero at a true terminal, the recorded Bootstrap at a truncated episode
+// cut, the tail value installed by SetTailValue at an open (non-Done) batch
+// tail, and the next stored transition's Value otherwise. The GAE
+// accumulator still resets at every Done boundary — truncation ends the
+// trajectory for estimation purposes; it just doesn't zero the tail.
 func (b *Buffer) GAE(gamma, lambda float64) (adv, targets []float64) {
 	n := len(b.steps)
 	adv = make([]float64, n)
@@ -62,9 +108,16 @@ func (b *Buffer) GAE(gamma, lambda float64) (adv, targets []float64) {
 	gae := 0.0
 	for i := n - 1; i >= 0; i-- {
 		s := b.steps[i]
-		nextValue := 0.0
-		if !s.Done && i+1 < n {
+		var nextValue float64
+		switch {
+		case s.Truncated:
+			nextValue = s.Bootstrap
+		case s.Done:
+			nextValue = 0
+		case i+1 < n:
 			nextValue = b.steps[i+1].Value
+		default:
+			nextValue = b.tailValue
 		}
 		if s.Done {
 			gae = 0
@@ -78,8 +131,11 @@ func (b *Buffer) GAE(gamma, lambda float64) (adv, targets []float64) {
 }
 
 // NormalizeInPlace standardizes v to zero mean and unit variance (no-op for
-// fewer than two elements or zero variance). PPO normalizes advantages per
-// batch for stable updates.
+// fewer than two elements). PPO normalizes advantages per batch for stable
+// updates. A near-zero-variance batch is still centered — a constant
+// advantage carries no preference between actions, so it must map to zeros,
+// not pass through as a large uniform offset — and only the scale step is
+// skipped.
 func NormalizeInPlace(v []float64) {
 	if len(v) < 2 {
 		return
@@ -94,11 +150,14 @@ func NormalizeInPlace(v []float64) {
 		variance += (x - mean) * (x - mean)
 	}
 	variance /= float64(len(v))
+	for i := range v {
+		v[i] -= mean
+	}
 	if variance < 1e-12 {
 		return
 	}
 	inv := 1.0 / (math.Sqrt(variance) + 1e-8)
 	for i := range v {
-		v[i] = (v[i] - mean) * inv
+		v[i] *= inv
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/autograd"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -85,6 +86,7 @@ type UpdateStats struct {
 	CriticLoss float64 // final-epoch mean value MSE
 	Entropy    float64 // final-epoch mean policy entropy
 	ApproxKL   float64 // final-epoch approximate KL(π_old ‖ π_new)
+	ClipFrac   float64 // final-epoch fraction of ratios outside [1−ε, 1+ε]
 }
 
 // PPO is an independent clipped-surrogate PPO agent with a single critic —
@@ -205,12 +207,17 @@ type ppoUpdateSpec struct {
 	prox *Proximal
 }
 
+// mPPOUpdates counts completed gradient updates across all agents.
+var mPPOUpdates = obs.DefaultRegistry().Counter("pfrl_ppo_updates_total",
+	"PPO gradient updates completed (all agents)")
+
 func ppoUpdate(s ppoUpdateSpec) UpdateStats {
 	steps := s.buf.Steps()
 	n := len(steps)
 	if n == 0 {
 		return UpdateStats{}
 	}
+	defer mPPOUpdates.Inc()
 	stateDim := s.cfg.StateDim
 	var stats UpdateStats
 
@@ -233,7 +240,7 @@ func ppoUpdate(s ppoUpdateSpec) UpdateStats {
 	for epoch := 0; epoch < s.cfg.UpdateEpochs; epoch++ {
 		s.rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		epochActor, epochCritic, epochEntropy := 0.0, 0.0, 0.0
-		epochKL := 0.0
+		epochKL, epochClip := 0.0, 0.0
 		batches := 0
 		for lo := 0; lo < n; lo += s.cfg.MiniBatch {
 			hi := lo + s.cfg.MiniBatch
@@ -282,12 +289,17 @@ func ppoUpdate(s ppoUpdateSpec) UpdateStats {
 			s.actorOpt.Step()
 			epochActor += -objective.Item()
 			epochEntropy += entropy.Item()
-			// Approximate KL(π_old ‖ π_new) = E[log π_old − log π_new].
-			klBatch := 0.0
+			// Approximate KL(π_old ‖ π_new) = E[log π_old − log π_new], and
+			// the clip fraction: how often the surrogate actually clipped.
+			klBatch, clipped := 0.0, 0
 			for bi := 0; bi < bsz; bi++ {
 				klBatch += oldLogp.Data[bi] - actLogp.Data.Data[bi]
+				if r := ratio.Data.Data[bi]; r < 1-s.cfg.Clip || r > 1+s.cfg.Clip {
+					clipped++
+				}
 			}
 			epochKL += klBatch / float64(bsz)
+			epochClip += float64(clipped) / float64(bsz)
 
 			// --- Critic step(s) ---
 			for _, cm := range s.criticModules {
@@ -320,6 +332,7 @@ func ppoUpdate(s ppoUpdateSpec) UpdateStats {
 				CriticLoss: epochCritic / float64(batches),
 				Entropy:    epochEntropy / float64(batches),
 				ApproxKL:   epochKL / float64(batches),
+				ClipFrac:   epochClip / float64(batches),
 			}
 		}
 		if s.cfg.TargetKL > 0 && batches > 0 && stats.ApproxKL > s.cfg.TargetKL {

@@ -68,6 +68,117 @@ func TestGAEWithLambdaOneEqualsMonteCarlo(t *testing.T) {
 	}
 }
 
+func TestGAETruncatedTailUsesBootstrap(t *testing.T) {
+	var b Buffer
+	b.Add(Transition{Reward: 1, Value: 0.5})
+	b.Add(Transition{Reward: 2, Value: 1.0, Done: true, Truncated: true, Bootstrap: 3.0})
+	gamma, lambda := 0.9, 0.8
+	adv, targets := b.GAE(gamma, lambda)
+	// t=1 truncated: delta1 = 2 + 0.9*3.0 - 1 = 3.7; gae1 = 3.7.
+	// t=0: delta0 = 1 + 0.9*1.0 - 0.5 = 1.4; gae0 = 1.4 + 0.72*3.7 = 4.064.
+	if math.Abs(adv[1]-3.7) > 1e-12 || math.Abs(adv[0]-4.064) > 1e-12 {
+		t.Fatalf("adv %v", adv)
+	}
+	if math.Abs(targets[1]-4.7) > 1e-12 || math.Abs(targets[0]-(4.064+0.5)) > 1e-12 {
+		t.Fatalf("targets %v", targets)
+	}
+	// Returns bootstrap the same way: G1 = 2 + 0.9*3 = 4.7; G0 = 1 + 0.9*4.7.
+	g := b.Returns(gamma)
+	if math.Abs(g[1]-4.7) > 1e-12 || math.Abs(g[0]-5.23) > 1e-12 {
+		t.Fatalf("returns %v", g)
+	}
+}
+
+// mixedBuffer packs three episodes into one batch: a true terminal, a
+// truncated cut with a recorded bootstrap, and an open (non-Done) tail
+// closed via SetTailValue.
+func mixedBuffer() *Buffer {
+	var b Buffer
+	b.Add(Transition{Reward: 1, Value: 0.2, Done: true})
+	b.Add(Transition{Reward: 2, Value: 0.4})
+	b.Add(Transition{Reward: 3, Value: 0.6, Done: true, Truncated: true, Bootstrap: 1.0})
+	b.Add(Transition{Reward: 4, Value: 0.8})
+	b.SetTailValue(2.0)
+	return &b
+}
+
+func TestGAEMixedBoundariesHandComputed(t *testing.T) {
+	b := mixedBuffer()
+	adv, targets := b.GAE(0.5, 0.5)
+	// i=3 open tail:  delta = 4 + 0.5*2.0 - 0.8 = 4.2;  gae = 4.2.
+	// i=2 truncated:  delta = 3 + 0.5*1.0 - 0.6 = 2.9;  gae resets, = 2.9.
+	// i=1:            delta = 2 + 0.5*0.6 - 0.4 = 1.9;  gae = 1.9 + 0.25*2.9 = 2.625.
+	// i=0 terminal:   delta = 1 + 0 - 0.2 = 0.8;        gae resets, = 0.8.
+	wantAdv := []float64{0.8, 2.625, 2.9, 4.2}
+	wantTgt := []float64{1.0, 3.025, 3.5, 5.0}
+	for i := range wantAdv {
+		if math.Abs(adv[i]-wantAdv[i]) > 1e-12 || math.Abs(targets[i]-wantTgt[i]) > 1e-12 {
+			t.Fatalf("adv %v targets %v, want %v %v", adv, targets, wantAdv, wantTgt)
+		}
+	}
+	// Returns: G3 = 4 + 0.5*2 = 5; G2 = 3 + 0.5*1 = 3.5; G1 = 2 + 0.5*3.5;
+	// G0 = 1 (terminal boundary zeroes the continuation).
+	g := b.Returns(0.5)
+	wantG := []float64{1, 3.75, 3.5, 5}
+	for i := range wantG {
+		if math.Abs(g[i]-wantG[i]) > 1e-12 {
+			t.Fatalf("returns %v, want %v", g, wantG)
+		}
+	}
+}
+
+func TestGAELambdaZeroIsOneStepTD(t *testing.T) {
+	b := mixedBuffer()
+	adv, _ := b.GAE(0.5, 0)
+	// λ=0 collapses GAE to the raw TD errors (the deltas above).
+	want := []float64{0.8, 1.9, 2.9, 4.2}
+	for i := range want {
+		if math.Abs(adv[i]-want[i]) > 1e-12 {
+			t.Fatalf("λ=0 adv %v, want deltas %v", adv, want)
+		}
+	}
+}
+
+func TestGAELambdaOneEqualsBootstrappedMonteCarlo(t *testing.T) {
+	// λ=1 telescopes to G_t − V(s_t) within each segment, where G_t uses the
+	// same bootstraps as Returns — including across the truncated boundary
+	// and the open tail.
+	b := mixedBuffer()
+	gamma := 0.95
+	adv, _ := b.GAE(gamma, 1.0)
+	g := b.Returns(gamma)
+	for i, s := range b.Steps() {
+		if math.Abs(adv[i]-(g[i]-s.Value)) > 1e-9 {
+			t.Fatalf("GAE(λ=1) != bootstrapped MC at %d: %v vs %v", i, adv[i], g[i]-s.Value)
+		}
+	}
+}
+
+func TestCollectEpisodeRecordsTruncation(t *testing.T) {
+	// SyntheticEnv always ends on its horizon, so the collector must mark the
+	// final transition truncated and attach the critic's bootstrap.
+	env := NewSyntheticEnv(6, 4, 5, 42)
+	agent := NewPPO(DefaultConfig(6, 4), rand.New(rand.NewSource(43)))
+	var buf Buffer
+	CollectEpisode(env, agent, &buf)
+	steps := buf.Steps()
+	if len(steps) != 5 {
+		t.Fatalf("got %d transitions, want 5", len(steps))
+	}
+	last := steps[len(steps)-1]
+	if !last.Done || !last.Truncated {
+		t.Fatalf("horizon cut must be a truncated terminal: %+v", last)
+	}
+	if want := agent.Value(env.Observe(nil)); last.Bootstrap != want {
+		t.Fatalf("bootstrap %v, want critic value %v of the post-cut state", last.Bootstrap, want)
+	}
+	for i, s := range steps[:len(steps)-1] {
+		if s.Truncated || s.Done {
+			t.Fatalf("mid-episode transition %d marked done/truncated", i)
+		}
+	}
+}
+
 func TestNormalizeInPlace(t *testing.T) {
 	v := []float64{1, 2, 3, 4}
 	NormalizeInPlace(v)
@@ -89,10 +200,24 @@ func TestNormalizeInPlace(t *testing.T) {
 	if single[0] != 5 {
 		t.Fatal("single element should be untouched")
 	}
+}
+
+func TestNormalizeInPlaceConstantInputCentersToZero(t *testing.T) {
+	// A constant advantage batch carries no preference between actions; the
+	// degenerate-variance early-out must still subtract the mean, otherwise
+	// the uniform offset passes straight into the surrogate as if it were
+	// signal.
 	same := []float64{2, 2, 2}
 	NormalizeInPlace(same)
-	if same[0] != 2 {
-		t.Fatal("zero-variance input should be untouched")
+	for i, x := range same {
+		if x != 0 {
+			t.Fatalf("constant input must map to zeros, got %v at index %d", x, i)
+		}
+	}
+	negative := []float64{-7.5, -7.5}
+	NormalizeInPlace(negative)
+	if negative[0] != 0 || negative[1] != 0 {
+		t.Fatalf("negative constant input must map to zeros: %v", negative)
 	}
 }
 

@@ -1,5 +1,7 @@
 package rl
 
+import "repro/internal/obs"
+
 // Environment is the MDP contract the agents train against. cloudsim.Env
 // implements it; any other discrete-action environment (a different
 // scheduler model, a toy benchmark) can be plugged in without touching the
@@ -32,6 +34,19 @@ type Agent interface {
 	Update(buf *Buffer) UpdateStats
 }
 
+// Truncator is an optional Environment refinement that distinguishes a
+// horizon/step-cap cut from a true terminal state. Done() must stay true for
+// both (it is the episode-boundary signal), but when an environment also
+// reports Truncated(), the collector bootstraps the tail of the cut episode
+// with the critic's value of the successor state instead of zero — a zero
+// bootstrap at a cut writes off the entire continuation and biases every
+// advantage upstream of the boundary.
+type Truncator interface {
+	// Truncated reports whether the current Done() is a horizon cut rather
+	// than a terminal. Only meaningful while Done() is true.
+	Truncated() bool
+}
+
 // MaskedAgent is an Agent whose greedy action can be restricted to the
 // environment's feasible set.
 type MaskedAgent interface {
@@ -48,31 +63,58 @@ var (
 	_ MaskedAgent = (*DualCriticPPO)(nil)
 )
 
+// Rollout metrics, shared via the default registry. Counter bumps are single
+// atomic adds and happen at most once per step/episode, preserving the
+// zero-allocation rollout contract.
+var (
+	mEnvSteps = obs.DefaultRegistry().Counter("pfrl_env_steps_total",
+		"environment steps taken by training rollouts")
+	mTruncations = obs.DefaultRegistry().Counter("pfrl_episode_truncations_total",
+		"training episodes cut by a horizon/step cap (tail bootstrapped with the critic)")
+)
+
 // CollectEpisode runs one stochastic-policy episode on env, appending every
 // transition to buf (with the agent's value estimates for GAE), and returns
 // the episode's total reward. The caller is responsible for resetting the
 // environment beforehand and may read environment-specific metrics after.
+//
+// If env implements Truncator and the episode ends on a horizon cut, the
+// final transition carries Truncated=true and Bootstrap=V(s_{T+1}) from the
+// agent's critic, so advantage estimation does not write off the cut tail.
+// The extra Value call runs on the gradient-free inference path and touches
+// no RNG, so collection remains bitwise deterministic.
 func CollectEpisode(env Environment, agent Agent, buf *Buffer) float64 {
 	total := 0.0
+	steps := uint64(0)
 	state := env.Observe(nil)
 	for !env.Done() {
 		action, logp := agent.SelectAction(state)
 		value := agent.Value(state)
 		reward := env.Step(action)
 		total += reward
+		steps++
 		done := env.Done()
-		buf.Add(Transition{
+		tr := Transition{
 			State:   append([]float64(nil), state...),
 			Action:  action,
 			Reward:  reward,
 			LogProb: logp,
 			Value:   value,
 			Done:    done,
-		})
+		}
 		if !done {
 			state = env.Observe(state)
+		} else if t, ok := env.(Truncator); ok && t.Truncated() {
+			// tr.State is already a private copy, so reusing the scratch
+			// buffer for the post-cut observation is safe.
+			state = env.Observe(state)
+			tr.Truncated = true
+			tr.Bootstrap = agent.Value(state)
+			mTruncations.Inc()
 		}
+		buf.Add(tr)
 	}
+	mEnvSteps.Add(steps)
 	return total
 }
 

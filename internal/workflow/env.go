@@ -180,6 +180,10 @@ func (e *Env) FeasibleActions() []bool { return e.inner.FeasibleActions() }
 // Done delegates to the inner environment (all stages placed or step cap).
 func (e *Env) Done() bool { return e.inner.Done() }
 
+// Truncated delegates to the inner environment (step-cap cut with stages
+// still outstanding), satisfying rl.Truncator.
+func (e *Env) Truncated() bool { return e.inner.Truncated() }
+
 // Step forwards the action and then releases any newly schedulable stages.
 func (e *Env) Step(action int) float64 {
 	r := e.inner.Step(action)

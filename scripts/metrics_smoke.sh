@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Smoke-test the observability endpoint: start a pfrl-node aggregation server
+# with -metrics-addr, poll /metrics until it answers, and assert the core
+# gauges/counters are present in the Prometheus text exposition. Used by
+# `make ci` (metrics-smoke target).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="${METRICS_ADDR:-127.0.0.1:19157}"
+BIN="$(mktemp -d)/pfrl-node"
+trap 'kill "$NODE_PID" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/pfrl-node
+
+# A server waiting on client registrations idles forever, which is exactly
+# what we want: a live process serving /metrics with no training noise.
+"$BIN" -mode server -clients 2 -addr 127.0.0.1:0 -metrics-addr "$ADDR" &
+NODE_PID=$!
+
+BODY=""
+for _ in $(seq 1 50); do
+    if BODY="$(curl -fsS "http://$ADDR/metrics" 2>/dev/null)"; then
+        break
+    fi
+    if ! kill -0 "$NODE_PID" 2>/dev/null; then
+        echo "metrics-smoke: pfrl-node exited before serving /metrics" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if [ -z "$BODY" ]; then
+    echo "metrics-smoke: /metrics never became reachable on $ADDR" >&2
+    exit 1
+fi
+
+FAIL=0
+for metric in pfrl_up pfrl_fednet_round pfrl_fednet_clients_registered pfrl_episodes_total; do
+    if ! grep -q "^$metric" <<<"$BODY"; then
+        echo "metrics-smoke: missing metric $metric" >&2
+        FAIL=1
+    fi
+done
+if ! grep -q '^pfrl_up 1$' <<<"$BODY"; then
+    echo "metrics-smoke: pfrl_up gauge is not 1" >&2
+    FAIL=1
+fi
+
+# The pprof mux must answer too (the index page is enough).
+if ! curl -fsS "http://$ADDR/debug/pprof/" >/dev/null; then
+    echo "metrics-smoke: /debug/pprof/ unreachable" >&2
+    FAIL=1
+fi
+
+if [ "$FAIL" -ne 0 ]; then
+    exit 1
+fi
+echo "metrics-smoke: ok ($(grep -c '^pfrl_' <<<"$BODY") pfrl_* samples exposed)"
