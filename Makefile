@@ -45,9 +45,10 @@ race:
 	$(GO) test -race ./...
 
 # The federation layers carry the concurrency-heavy fault-tolerance tests
-# (round deadlines, retries, rejoin); run them race-enabled on every merge.
+# (round deadlines, retries, rejoin) and the shared round engine behind both
+# paths; run them race-enabled on every merge.
 test-race:
-	$(GO) test -race ./internal/fed/... ./internal/fednet/...
+	$(GO) test -race ./internal/fedcore/... ./internal/fed/... ./internal/fednet/...
 
 # Short deterministic-budget run of every fuzz target (go test allows one
 # -fuzz pattern per invocation, hence three runs).

@@ -25,6 +25,7 @@ import (
 	"repro/internal/cloudsim"
 	"repro/internal/core"
 	"repro/internal/fed"
+	"repro/internal/fedcore"
 	"repro/internal/fednet"
 	"repro/internal/rl"
 	"repro/internal/workload"
@@ -152,7 +153,7 @@ func runServer(addr string, clients, k int, seed int64, roundTimeout time.Durati
 		return err
 	}
 	if k <= 0 {
-		k = clients / 2
+		k = fedcore.DefaultK(clients)
 	}
 	srv, err := fednet.NewServer(fednet.ServerConfig{
 		Clients: clients, K: k, Seed: seed,
@@ -234,10 +235,7 @@ func runDemo(clients, k, rounds, comm, tasks int, seed int64, roundTimeout time.
 		return err
 	}
 	if k <= 0 {
-		k = clients / 2
-		if k < 1 {
-			k = 1
-		}
+		k = fedcore.DefaultK(clients)
 	}
 	srv, err := fednet.NewServer(fednet.ServerConfig{
 		Clients: clients, K: k, Seed: seed,

@@ -22,7 +22,8 @@
 //	internal/workload  the ten modelled cluster trace distributions
 //	internal/cloudsim  the discrete-time cloud scheduling MDP (§4.1-4.2)
 //	internal/rl        PPO and dual-critic PPO (§4.3)
-//	internal/fed       clients, server rounds, aggregators (§4.4-4.5)
+//	internal/fedcore   transport-agnostic federated round engine
+//	internal/fed       clients, in-process rounds, aggregators (§4.4-4.5)
 //	internal/core      experiment orchestration, one runner per figure
 //	internal/stats     Wilcoxon signed-rank test and descriptive stats
 //	internal/trace     result tables and CSV series

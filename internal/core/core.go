@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/fed"
+	"repro/internal/fedcore"
 	"repro/internal/obs"
 	"repro/internal/rl"
 	"repro/internal/tensor"
@@ -369,7 +370,6 @@ func Train(alg Algorithm, cfg ExperimentConfig) (*TrainResult, error) {
 
 	var transport fed.Transport
 	var agg fed.Aggregator
-	k := len(clients)
 	switch alg {
 	case AlgFedAvg:
 		transport, agg = fed.ActorCriticTransport{}, fed.FedAvg{}
@@ -385,16 +385,17 @@ func Train(alg Algorithm, cfg ExperimentConfig) (*TrainResult, error) {
 		transport, agg = fed.ActorCriticTransport{}, fed.NewSecureFedAvg(cfg.Seed)
 	case AlgPFRLDM:
 		transport, agg = fed.PublicCriticTransport{}, fed.NewAttention(cfg.Seed)
-		if cfg.K > 0 {
-			k = cfg.K
-		} else {
-			k = max(1, len(clients)/2) // the paper's K = N/2
-		}
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", alg)
 	}
-	if cfg.K > 0 {
-		k = cfg.K
+	// cfg.K wins when set; otherwise the baselines aggregate everyone and
+	// PFRL-DM uses the paper's K = N/2 default. The engine clamps to [1, N].
+	k := cfg.K
+	if k <= 0 {
+		k = len(clients)
+		if alg == AlgPFRLDM {
+			k = fedcore.DefaultK(len(clients))
+		}
 	}
 	f, err := fed.New(clients, transport, agg, fed.Options{
 		K: k, CommEvery: cfg.CommEvery, Seed: cfg.Seed, Parallel: cfg.Parallel,

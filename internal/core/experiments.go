@@ -7,6 +7,7 @@ import (
 	"repro/internal/attn"
 	"repro/internal/cloudsim"
 	"repro/internal/fed"
+	"repro/internal/fedcore"
 	"repro/internal/nn"
 	"repro/internal/rl"
 	"repro/internal/stats"
@@ -524,7 +525,7 @@ func RunAblation(cfg ExperimentConfig, variant AblationVariant, attentionHeads i
 	}
 	k := cfg.K
 	if k <= 0 {
-		k = max(1, len(clients)/2)
+		k = fedcore.DefaultK(len(clients))
 	}
 	f, err := fed.New(clients, fed.PublicCriticTransport{}, agg,
 		fed.Options{K: k, CommEvery: cfg.CommEvery, Seed: cfg.Seed, Parallel: cfg.Parallel})

@@ -4,27 +4,22 @@ import (
 	"fmt"
 
 	"repro/internal/attn"
+	"repro/internal/fedcore"
 )
 
 // Aggregator combines the participating clients' uploads. Aggregate returns
 // one personalized payload per upload (same order) plus the new global
-// payload stored on the server for non-participants and late joiners.
-type Aggregator interface {
-	Name() string
-	Aggregate(uploads []Payload) (personalized []Payload, global Payload)
-}
+// payload stored on the server for non-participants and late joiners. It is
+// the round engine's interface; this package provides the concrete
+// strategies (FedAvg, MFPO momentum, PFRL-DM attention, static weights).
+type Aggregator = fedcore.Aggregator
 
-// AggregatePartial runs one aggregation over however many uploads arrived
-// (the partial-participation regime: k of n clients answered before the
-// round deadline). Each arrival carries equal weight, so the result is the
-// participation-weighted mean — exactly agg.Aggregate over the k uploads.
-// The degenerate round where nobody arrived is well-defined too: no
-// personalized payloads, and the global payload carries over unchanged.
+// AggregatePartial delegates to the round engine's single implementation of
+// the partial-participation policy (k-of-n rounds; k=0 keeps the previous
+// global payload). Kept here so aggregation call sites and tests read
+// naturally next to the strategies.
 func AggregatePartial(agg Aggregator, uploads []Payload, prevGlobal Payload) (personalized []Payload, global Payload) {
-	if len(uploads) == 0 {
-		return nil, append(Payload(nil), prevGlobal...)
-	}
-	return agg.Aggregate(uploads)
+	return fedcore.AggregatePartial(agg, uploads, prevGlobal)
 }
 
 func meanPayload(uploads []Payload) Payload {

@@ -1,22 +1,25 @@
-// Package fed implements the federated-reinforcement-learning layer of the
-// paper: clients that train scheduling agents in their own environments, a
-// server round loop with K-of-N participation (Algorithm 1), and three
+// Package fed implements the in-process federated-reinforcement-learning
+// layer of the paper: clients that train scheduling agents in their own
+// environments, a Federation adapter that drives the shared round engine
+// (internal/fedcore) with K-of-N participation (Algorithm 1), and three
 // aggregation strategies — plain FedAvg (McMahan et al.), a server-momentum
 // aggregator standing in for MFPO (Yue et al., INFOCOM'24), and the
 // multi-head-attention personalizing aggregator of PFRL-DM (§4.4–4.5).
 //
-// The layer is composed of two orthogonal pieces:
+// The layer is composed of orthogonal pieces:
 //
 //   - Transport: what travels between client and server. FedAvg/MFPO move
 //     the whole actor+critic; PFRL-DM moves only the public critic.
 //   - Aggregator: how the server combines uploads into per-client
 //     personalized payloads and a stored global payload for
 //     non-participants and late joiners.
+//   - The round engine (internal/fedcore): selection, partial-aggregation
+//     policy, reports, and the late-join rule — shared with the networked
+//     path in internal/fednet.
 package fed
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/cloudsim"
@@ -160,14 +163,4 @@ func (c *Client) probeCriticLoss() float64 {
 	default:
 		return 0
 	}
-}
-
-// shuffledSubset returns k distinct client indices drawn without
-// replacement using rng.
-func shuffledSubset(rng *rand.Rand, n, k int) []int {
-	if k > n {
-		k = n
-	}
-	perm := rng.Perm(n)
-	return perm[:k]
 }

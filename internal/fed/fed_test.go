@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/cloudsim"
+	"repro/internal/fedcore"
 	"repro/internal/nn"
 	"repro/internal/rl"
 	"repro/internal/workload"
@@ -397,9 +398,14 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
-func TestShuffledSubset(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	got := shuffledSubset(rng, 5, 3)
+func TestEngineSelectSubset(t *testing.T) {
+	// Selection now lives in the shared round engine; the federation-facing
+	// contract is unchanged: K distinct indices drawn without replacement.
+	e, err := fedcore.New(FedAvg{}, Payload{0}, fedcore.Options{K: 3, Clients: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Select([]int{0, 1, 2, 3, 4})
 	if len(got) != 3 {
 		t.Fatalf("len %d", len(got))
 	}
@@ -410,8 +416,8 @@ func TestShuffledSubset(t *testing.T) {
 		}
 		seen[v] = true
 	}
-	if len(shuffledSubset(rng, 2, 5)) != 2 {
-		t.Fatal("oversized k should clamp")
+	if len(e.Select([]int{0, 1})) != 2 {
+		t.Fatal("fewer candidates than K should clamp to the candidates")
 	}
 }
 

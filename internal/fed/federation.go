@@ -3,39 +3,34 @@ package fed
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
-	"repro/internal/obs"
+	"repro/internal/fedcore"
 )
 
-// RoundReport records who actually contributed to one aggregation round —
-// the partial-participation bookkeeping surfaced on core.TrainResult.
-type RoundReport struct {
-	// Round is the round index (0-based).
-	Round int
-	// Selected is how many clients were drawn for the round (K).
-	Selected int
-	// Participants is how many uploads were actually aggregated
-	// (Selected minus injected upload drops).
-	Participants int
-	// UploadDrops / DownloadDrops count transient transport faults the
-	// round absorbed (ErrInjectedFault); a dropped download leaves that
-	// client on its previous parameters.
-	UploadDrops   int
-	DownloadDrops int
-}
+// RoundReport is the engine's per-round participation record — the
+// partial-participation bookkeeping surfaced on core.TrainResult.
+type RoundReport = fedcore.RoundReport
 
-// Federation drives Algorithm 1: local training segments interleaved with
-// server aggregation rounds.
+// Federation is the in-process adapter over the shared round engine
+// (internal/fedcore): it drives Algorithm 1 by interleaving local training
+// segments with engine rounds, pulling uploads from the engine's selected
+// clients and delivering the results over its Transport. All round policy —
+// seeded K-of-N selection, partial aggregation, report bookkeeping, the
+// late-join rule — lives in the engine; this type owns only the data plane.
 type Federation struct {
 	Clients   []*Client
 	Transport Transport
 	Agg       Aggregator
 
+	// Engine is the shared round state machine; the networked fednet.Server
+	// wraps the same type, which is what keeps the two paths bit-identical.
+	Engine *fedcore.Engine
+
 	// K is the number of clients that participate in each aggregation
-	// (K ≤ N; the paper uses K = N/2 for PFRL-DM).
+	// (K ≤ N; the paper uses K = N/2 for PFRL-DM), as resolved by the
+	// engine.
 	K int
 	// CommEvery is the communication frequency: episodes of local training
 	// between aggregations.
@@ -45,19 +40,18 @@ type Federation struct {
 	// agent owns its RNG.
 	Parallel bool
 
-	// Global is the server-stored payload ψ_G (or the full model for
-	// actor+critic transports), delivered to non-participants and late
-	// joiners.
+	// Global mirrors the engine's stored payload ψ_G (or the full model for
+	// actor+critic transports) after each round, delivered to
+	// non-participants and late joiners.
 	Global Payload
 
-	// Rounds counts completed aggregation rounds.
+	// Rounds mirrors the engine's completed-round count.
 	Rounds int
 
-	// Reports holds one participation record per completed round.
+	// Reports mirrors the engine's participation records.
 	Reports []RoundReport
 
 	comm CommStats
-	rng  *rand.Rand
 }
 
 // Options configures New.
@@ -76,28 +70,32 @@ func New(clients []*Client, transport Transport, agg Aggregator, opts Options) (
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("fed: no clients")
 	}
-	k := opts.K
-	if k <= 0 || k > len(clients) {
-		k = len(clients)
-	}
 	commEvery := opts.CommEvery
 	if commEvery <= 0 {
 		commEvery = 1
-	}
-	f := &Federation{
-		Clients:   clients,
-		Transport: transport,
-		Agg:       agg,
-		K:         k,
-		CommEvery: commEvery,
-		Parallel:  opts.Parallel,
-		rng:       rand.New(rand.NewSource(opts.Seed)),
 	}
 	initial, err := transport.Upload(clients[0])
 	if err != nil {
 		return nil, fmt.Errorf("fed: initial upload from client %d: %w", clients[0].ID, err)
 	}
-	f.Global = initial
+	engine, err := fedcore.New(agg, initial, fedcore.Options{
+		K:       opts.K,
+		Clients: len(clients),
+		Seed:    opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fed: %w", err)
+	}
+	f := &Federation{
+		Clients:   clients,
+		Transport: transport,
+		Agg:       agg,
+		Engine:    engine,
+		K:         engine.K(),
+		CommEvery: commEvery,
+		Parallel:  opts.Parallel,
+		Global:    engine.Global(),
+	}
 	for _, c := range clients {
 		if err := transport.Download(c, f.Global); err != nil {
 			return nil, fmt.Errorf("fed: initial sync to client %d: %w", c.ID, err)
@@ -126,105 +124,77 @@ func (f *Federation) trainSegment(episodes int) {
 }
 
 // RunRound performs one full round: a local-training segment followed by an
-// aggregation over K randomly selected participants. Participants receive
-// their personalized payloads; every other client receives the stored
-// global model (Algorithm 1, lines 13–15).
+// engine round over K selected participants. This path pulls: only the
+// engine's selected clients upload, so Arrived ≤ Selected in the report.
+// Participants receive their personalized payloads; every other client
+// receives the stored global model (Algorithm 1, lines 13–15).
 //
 // Transient transport faults (ErrInjectedFault) do not fail the round: a
-// client whose upload drops or arrives corrupt-length simply does not
-// participate, and a client whose download drops keeps its previous
-// parameters until the next round. Any other transport error — a
-// misconfigured client, say — aborts the round with that error.
+// client whose upload drops simply does not participate (corrupt-length
+// uploads are filtered by the engine), and a client whose download drops
+// keeps its previous parameters until the next round. Any other transport
+// error — a misconfigured client, say — surfaces as the returned error; a
+// fatal upload error aborts before the engine round, while a fatal download
+// error is reported after the round commits (the aggregation itself already
+// happened).
 func (f *Federation) RunRound() error {
 	f.trainSegment(f.CommEvery)
 
-	var selected []int
-	if f.K >= len(f.Clients) {
-		// Full participation keeps the stable client order, so aggregators
-		// with per-client semantics (StaticWeights) map rows to clients.
-		selected = make([]int, len(f.Clients))
-		for i := range selected {
-			selected[i] = i
-		}
-	} else {
-		selected = shuffledSubset(f.rng, len(f.Clients), f.K)
+	all := make([]int, len(f.Clients))
+	for i := range all {
+		all[i] = i
 	}
-	report := RoundReport{Round: f.Rounds, Selected: len(selected)}
-	expect := len(f.Global)
+	selected := f.Engine.Select(all)
+	stats := fedcore.RoundStats{Expected: len(f.Clients), Selected: len(selected)}
 	var commDur time.Duration
-	var participants []int // selected clients whose upload made it
-	var uploads []Payload
+	var contribs []fedcore.Contribution
 	for _, idx := range selected {
 		callStart := time.Now()
 		u, err := f.Transport.Upload(f.Clients[idx])
 		commDur += time.Since(callStart)
 		switch {
 		case errors.Is(err, ErrInjectedFault):
-			report.UploadDrops++
+			stats.UploadDrops++
 			continue
 		case err != nil:
 			return fmt.Errorf("fed: round %d upload from client %d: %w", f.Rounds, f.Clients[idx].ID, err)
-		case len(u) != expect:
-			// Corrupt-length upload: detectable, so the round survives it.
-			report.UploadDrops++
-			continue
 		}
-		participants = append(participants, idx)
-		uploads = append(uploads, u)
+		contribs = append(contribs, fedcore.Contribution{ID: idx, Upload: u})
 		f.comm.UploadScalars += int64(len(u))
 	}
-	report.Participants = len(uploads)
-	aggStart := time.Now()
-	personalized, global := AggregatePartial(f.Agg, uploads, f.Global)
-	aggDur := time.Since(aggStart)
-	f.Global = global
+	stats.Arrived = len(contribs)
 
-	isParticipant := make(map[int]int, len(participants)) // client index -> upload slot
-	for i, idx := range participants {
-		isParticipant[idx] = i
-	}
-	for idx, c := range f.Clients {
-		c.CriticLossPre = append(c.CriticLossPre, c.probeCriticLoss())
-		var payload Payload
-		if slot, ok := isParticipant[idx]; ok {
-			payload = personalized[slot]
-		} else {
-			payload = f.Global
+	var deliverErr error
+	f.Engine.CompleteRound(contribs, stats, func(personalized map[int]fedcore.Payload, global fedcore.Payload) (int, time.Duration) {
+		drops := 0
+		for idx, c := range f.Clients {
+			c.CriticLossPre = append(c.CriticLossPre, c.probeCriticLoss())
+			payload, ok := personalized[idx]
+			if !ok {
+				payload = global
+			}
+			callStart := time.Now()
+			err := f.Transport.Download(c, payload)
+			commDur += time.Since(callStart)
+			switch {
+			case errors.Is(err, ErrInjectedFault):
+				drops++
+			case err != nil:
+				deliverErr = fmt.Errorf("fed: round %d download to client %d: %w", f.Rounds, c.ID, err)
+				return drops, commDur
+			default:
+				f.comm.DownloadScalars += int64(len(payload))
+			}
+			c.CriticLossPost = append(c.CriticLossPost, c.probeCriticLoss())
 		}
-		callStart := time.Now()
-		err := f.Transport.Download(c, payload)
-		commDur += time.Since(callStart)
-		switch {
-		case errors.Is(err, ErrInjectedFault):
-			report.DownloadDrops++
-		case err != nil:
-			return fmt.Errorf("fed: round %d download to client %d: %w", f.Rounds, c.ID, err)
-		default:
-			f.comm.DownloadScalars += int64(len(payload))
-		}
-		c.CriticLossPost = append(c.CriticLossPost, c.probeCriticLoss())
-	}
-	f.Rounds++
-	f.Reports = append(f.Reports, report)
+		return drops, commDur
+	})
+
+	f.Global = f.Engine.Global()
+	f.Rounds = f.Engine.Round()
+	f.Reports = f.Engine.Reports()
 	f.comm.Rounds = f.Rounds
-
-	obs.GlobalTimers().Add(obs.PhaseAggregate, aggDur)
-	obs.GlobalTimers().Add(obs.PhaseComm, commDur)
-	mRounds.Inc()
-	mUploadDrops.Add(uint64(report.UploadDrops))
-	mDownloadDrops.Add(uint64(report.DownloadDrops))
-	gParticipants.Set(float64(report.Participants))
-	hAggregate.Observe(aggDur.Seconds())
-	if obs.Active() {
-		obs.Emit(obs.E("round").At(-1, report.Round, -1).
-			F("selected", float64(report.Selected)).
-			F("participants", float64(report.Participants)).
-			F("upload_drops", float64(report.UploadDrops)).
-			F("download_drops", float64(report.DownloadDrops)).
-			F("aggregate_seconds", aggDur.Seconds()).
-			F("comm_seconds", commDur.Seconds()))
-	}
-	return nil
+	return deliverErr
 }
 
 // RunEpisodes trains for the given number of episodes per client,
@@ -246,15 +216,14 @@ func (f *Federation) RunEpisodes(episodes int) error {
 }
 
 // AddClient joins a new client mid-training (the Figure-20 scenario),
-// initializing it from the server's stored global model.
+// initializing it under the engine's late-join policy — the same rule a
+// fednet joiner or resyncing straggler gets: the current global payload.
 func (f *Federation) AddClient(c *Client) error {
-	if err := f.Transport.Download(c, f.Global); err != nil {
+	_, global := f.Engine.Join()
+	if err := f.Transport.Download(c, global); err != nil {
 		return fmt.Errorf("fed: joining client %d: %w", c.ID, err)
 	}
 	f.Clients = append(f.Clients, c)
-	if f.K > len(f.Clients) {
-		f.K = len(f.Clients)
-	}
 	return nil
 }
 

@@ -2,10 +2,12 @@ package fed
 
 import "repro/internal/obs"
 
-// Federation-layer metrics, registered once into the default registry and
-// served by pfrl-node's -metrics-addr endpoint. All instruments are
+// Client-side training metrics, registered once into the default registry
+// and served by pfrl-node's -metrics-addr endpoint. All instruments are
 // lock-free atomics; with Parallel clients the histograms record per-call
-// durations across goroutines (a work breakdown, not a timeline).
+// durations across goroutines (a work breakdown, not a timeline). The
+// round-level instruments (pfrl_fed_rounds_total and friends) live with the
+// round engine in internal/fedcore.
 var (
 	obsReg = obs.DefaultRegistry()
 
@@ -15,15 +17,4 @@ var (
 		"wall-clock time of one episode rollout", nil)
 	hUpdate = obsReg.Histogram("pfrl_update_seconds",
 		"wall-clock time of one agent update", nil)
-
-	mRounds = obsReg.Counter("pfrl_fed_rounds_total",
-		"federated aggregation rounds completed")
-	mUploadDrops = obsReg.Counter("pfrl_fed_upload_drops_total",
-		"client uploads lost to transient transport faults or corrupt lengths")
-	mDownloadDrops = obsReg.Counter("pfrl_fed_download_drops_total",
-		"client downloads lost to transient transport faults")
-	gParticipants = obsReg.Gauge("pfrl_fed_participants",
-		"uploads aggregated in the most recent round")
-	hAggregate = obsReg.Histogram("pfrl_fed_aggregate_seconds",
-		"server-side aggregation time per round", nil)
 )

@@ -3,12 +3,14 @@ package fed
 import (
 	"fmt"
 
+	"repro/internal/fedcore"
 	"repro/internal/nn"
 	"repro/internal/rl"
 )
 
-// Payload is a flat parameter vector exchanged between client and server.
-type Payload = []float64
+// Payload is a flat parameter vector exchanged between client and server
+// (the round engine's wire type).
+type Payload = fedcore.Payload
 
 // Transport defines what travels between a client and the server.
 type Transport interface {

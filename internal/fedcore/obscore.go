@@ -1,0 +1,23 @@
+package fedcore
+
+import "repro/internal/obs"
+
+// Round-engine metrics, registered once into the default registry and served
+// by pfrl-node's -metrics-addr endpoint. They moved here from internal/fed
+// with their names intact when the round state machine was extracted: both
+// federation paths now feed the same instruments, so an in-process run and a
+// networked server report rounds identically.
+var (
+	coreReg = obs.DefaultRegistry()
+
+	mRounds = coreReg.Counter("pfrl_fed_rounds_total",
+		"federated aggregation rounds completed")
+	mUploadDrops = coreReg.Counter("pfrl_fed_upload_drops_total",
+		"client uploads lost to transient transport faults or corrupt lengths")
+	mDownloadDrops = coreReg.Counter("pfrl_fed_download_drops_total",
+		"client downloads lost to transient transport faults")
+	gParticipants = coreReg.Gauge("pfrl_fed_participants",
+		"uploads aggregated in the most recent round")
+	hAggregate = coreReg.Histogram("pfrl_fed_aggregate_seconds",
+		"server-side aggregation time per round", nil)
+)

@@ -24,16 +24,18 @@
 // told so and re-downloads the current global model via State instead of
 // poisoning the round counter.
 //
-// The design trades throughput for reproducibility: uploads are aggregated
-// in registration order and participant selection is seeded, so a fednet
-// round is bit-identical to an in-process fed.Federation round with the
-// same inputs (asserted in tests).
+// The round policy itself — seeded K-of-N selection, partial aggregation,
+// report bookkeeping, the late-join rule — is not implemented here: the
+// server is a thin adapter over the shared round engine (internal/fedcore),
+// the same state machine that backs the in-process fed.Federation. The
+// design trades throughput for reproducibility: uploads are aggregated in
+// registration order and participant selection is seeded, so a fednet round
+// is bit-identical to an in-process round with the same inputs (asserted by
+// the cross-path equivalence golden test in internal/fedcore).
 package fednet
 
 import (
-	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"net/rpc"
 	"sort"
@@ -41,7 +43,7 @@ import (
 	"time"
 
 	"repro/internal/fed"
-	"repro/internal/obs"
+	"repro/internal/fedcore"
 )
 
 // Error-message prefixes shared by server and client. net/rpc flattens
@@ -95,20 +97,12 @@ type StateReply struct {
 	Global fed.Payload
 }
 
-// RoundInfo records one completed aggregation round.
-type RoundInfo struct {
-	Round int
-	// Expected is the registered-client count the barrier waited for.
-	Expected int
-	// Arrived is how many uploads were present when the round closed.
-	Arrived int
-	// Participants is how many uploads were aggregated (K-selection
-	// applied to the arrivals).
-	Participants int
-	// TimedOut marks rounds closed by the deadline rather than a full
-	// barrier.
-	TimedOut bool
-}
+// RoundInfo records one completed aggregation round. It is the engine's
+// unified report: on this path Expected is the registered-client count the
+// barrier waited for, Arrived is how many uploads were present when the
+// round closed, and Participants is the K-selection applied to the
+// arrivals.
+type RoundInfo = fedcore.RoundReport
 
 // ServerConfig parameterizes a federation server.
 type ServerConfig struct {
@@ -130,45 +124,39 @@ type ServerConfig struct {
 	RoundTimeout time.Duration
 }
 
-// Server is the aggregation endpoint. Create with NewServer, then Serve.
+// Server is the aggregation endpoint: the RPC/barrier data plane over the
+// shared round engine. Create with NewServer, then Serve.
 type Server struct {
-	cfg ServerConfig
-	rng *rand.Rand
+	cfg    ServerConfig
+	engine *fedcore.Engine
 
 	mu          sync.Mutex
 	nextID      int
-	global      fed.Payload
-	round       int
 	pending     map[int]fed.Payload // uploads of the in-progress round
 	roundDone   chan struct{}       // closed when the round aggregates
 	lastRound   int                 // index of the most recently completed round
 	lastResults map[int]SyncReply   // that round's per-client results
 	timer       *time.Timer         // round deadline, armed at first upload
-	reports     []RoundInfo
 	listener    net.Listener
 	rpcSrv      *rpc.Server
 	closedOnce  sync.Once
 	wg          sync.WaitGroup
 }
 
-// NewServer builds a server; it does not listen yet.
+// NewServer builds a server; it does not listen yet. Round policy (K
+// resolution, aggregator and initial-model validation) is the engine's.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	if cfg.Clients < 1 {
-		return nil, errors.New("fednet: server needs at least one client")
-	}
-	if cfg.Aggregator == nil {
-		return nil, errors.New("fednet: server needs an aggregator")
-	}
-	if len(cfg.InitialGlobal) == 0 {
-		return nil, errors.New("fednet: server needs an initial global model")
-	}
-	if cfg.K <= 0 || cfg.K > cfg.Clients {
-		cfg.K = cfg.Clients
+	engine, err := fedcore.New(cfg.Aggregator, cfg.InitialGlobal, fedcore.Options{
+		K:       cfg.K,
+		Clients: cfg.Clients,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fednet: %w", err)
 	}
 	s := &Server{
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		global:    append(fed.Payload(nil), cfg.InitialGlobal...),
+		engine:    engine,
 		pending:   map[int]fed.Payload{},
 		roundDone: make(chan struct{}),
 		lastRound: -1,
@@ -223,25 +211,13 @@ func (s *Server) Close() {
 }
 
 // Global returns a copy of the current global model.
-func (s *Server) Global() fed.Payload {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append(fed.Payload(nil), s.global...)
-}
+func (s *Server) Global() fed.Payload { return s.engine.Global() }
 
 // Rounds returns the number of completed aggregation rounds.
-func (s *Server) Rounds() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.round
-}
+func (s *Server) Rounds() int { return s.engine.Round() }
 
 // Reports returns one RoundInfo per completed round.
-func (s *Server) Reports() []RoundInfo {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]RoundInfo(nil), s.reports...)
-}
+func (s *Server) Reports() []RoundInfo { return s.engine.Reports() }
 
 // rpcHandler is the net/rpc receiver (kept separate so Server's exported
 // methods don't have to fit the RPC signature shape).
@@ -249,7 +225,9 @@ type rpcHandler struct{ s *Server }
 
 // Join implements the registration RPC. A fresh join allocates the next
 // slot; a rejoin reclaims an existing slot after a client restart and
-// returns the current round so the restarted client resumes in step.
+// returns the current round so the restarted client resumes in step. The
+// payload handed out is the engine's late-join policy — the same rule that
+// serves an in-process fed.AddClient and a State resync.
 func (h *rpcHandler) Join(args JoinArgs, reply *JoinReply) error {
 	s := h.s
 	s.mu.Lock()
@@ -266,20 +244,16 @@ func (h *rpcHandler) Join(args JoinArgs, reply *JoinReply) error {
 		reply.ClientID = s.nextID
 		s.nextID++
 	}
-	reply.Global = append(fed.Payload(nil), s.global...)
-	reply.Round = s.round
+	reply.Round, reply.Global = s.engine.Join()
 	gNetClients.Set(float64(s.nextID))
 	return nil
 }
 
 // State implements the resync RPC: a straggler that missed its round calls
-// it to adopt the current round index and global model.
+// it to adopt the current round index and global model, under the same
+// engine join policy as a fresh joiner.
 func (h *rpcHandler) State(_ StateArgs, reply *StateReply) error {
-	s := h.s
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	reply.Round = s.round
-	reply.Global = append(fed.Payload(nil), s.global...)
+	reply.Round, reply.Global = h.s.engine.Join()
 	return nil
 }
 
@@ -291,7 +265,8 @@ func (h *rpcHandler) Sync(args SyncArgs, reply *SyncReply) error {
 		s.mu.Unlock()
 		return fmt.Errorf("fednet: unknown client %d", args.ClientID)
 	}
-	if args.Round != s.round {
+	round := s.engine.Round()
+	if args.Round != round {
 		// A retry for the round that just completed: return the retained
 		// result if this client made it into that round, otherwise tell it
 		// the round passed so it resyncs.
@@ -304,28 +279,27 @@ func (h *rpcHandler) Sync(args SyncArgs, reply *SyncReply) error {
 			}
 			return fmt.Errorf("%s: client %d missed round %d", msgRoundPassed, args.ClientID, args.Round)
 		}
-		if args.Round < s.round {
+		if args.Round < round {
 			s.mu.Unlock()
-			return fmt.Errorf("%s: client %d is on round %d, server on %d", msgRoundPassed, args.ClientID, args.Round, s.round)
+			return fmt.Errorf("%s: client %d is on round %d, server on %d", msgRoundPassed, args.ClientID, args.Round, round)
 		}
 		s.mu.Unlock()
-		return fmt.Errorf("fednet: client %d is ahead on round %d, server on %d", args.ClientID, args.Round, s.round)
+		return fmt.Errorf("fednet: client %d is ahead on round %d, server on %d", args.ClientID, args.Round, round)
 	}
-	if len(args.Upload) != len(s.global) {
+	if expect := s.engine.PayloadLen(); len(args.Upload) != expect {
 		s.mu.Unlock()
-		return fmt.Errorf("%s: length %d, want %d (client %d)", msgBadUpload, len(args.Upload), len(s.global), args.ClientID)
+		return fmt.Errorf("%s: length %d, want %d (client %d)", msgBadUpload, len(args.Upload), expect, args.ClientID)
 	}
 	if _, dup := s.pending[args.ClientID]; !dup {
 		// First-wins: a duplicate from a retrying client changes nothing.
 		s.pending[args.ClientID] = append(fed.Payload(nil), args.Upload...)
 		if len(s.pending) == 1 && s.cfg.RoundTimeout > 0 {
-			round := s.round
 			s.timer = time.AfterFunc(s.cfg.RoundTimeout, func() { s.deadline(round) })
 		}
 	}
 	done := s.roundDone
 	if len(s.pending) == s.cfg.Clients {
-		s.aggregateLocked(false)
+		s.closeRoundLocked(false)
 		close(done)
 	}
 	s.mu.Unlock()
@@ -346,90 +320,63 @@ func (h *rpcHandler) Sync(args SyncArgs, reply *SyncReply) error {
 func (s *Server) deadline(r int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.round != r || len(s.pending) == 0 {
+	if s.engine.Round() != r || len(s.pending) == 0 {
 		return // the round already closed on a full barrier
 	}
 	done := s.roundDone
-	s.aggregateLocked(true)
+	s.closeRoundLocked(true)
 	close(done)
 }
 
-// aggregateLocked runs one aggregation over the arrived uploads; the caller
-// holds s.mu. At a full barrier the selection is identical to the
-// in-process fed.Federation (identity order at full participation, seeded
-// shuffle otherwise); on a timed-out round the K participants are drawn
-// from the arrivals only, each carrying equal weight.
-func (s *Server) aggregateLocked(timedOut bool) {
+// closeRoundLocked hands the arrived uploads to the engine and retains the
+// per-client results for the barrier release; the caller holds s.mu. The
+// engine owns selection and aggregation: at a full barrier the selection is
+// identical to the in-process fed.Federation (identity order at full
+// participation, seeded shuffle otherwise); on a timed-out round the K
+// participants are drawn from the arrivals only, each carrying equal
+// weight. This path pushes: everyone uploads, then K of the arrivals are
+// selected, so Selected ≤ Arrived in the report.
+func (s *Server) closeRoundLocked(timedOut bool) {
 	arrived := make([]int, 0, len(s.pending))
 	for id := range s.pending {
 		arrived = append(arrived, id)
 	}
 	sort.Ints(arrived)
 
-	var participants []int
-	if s.cfg.K >= len(arrived) {
-		participants = arrived
-	} else {
-		idx := s.rng.Perm(len(arrived))[:s.cfg.K]
-		participants = make([]int, len(idx))
-		for i, j := range idx {
-			participants[i] = arrived[j]
-		}
-	}
-	uploads := make([]fed.Payload, len(participants))
+	participants := s.engine.Select(arrived)
+	contribs := make([]fedcore.Contribution, len(participants))
 	for i, id := range participants {
-		uploads[i] = s.pending[id]
+		contribs[i] = fedcore.Contribution{ID: id, Upload: s.pending[id]}
 	}
-	aggStart := time.Now()
-	personalized, global := fed.AggregatePartial(s.cfg.Aggregator, uploads, s.global)
-	aggDur := time.Since(aggStart)
-	s.global = global
-
 	results := make(map[int]SyncReply, len(arrived))
-	isParticipant := map[int]int{}
-	for i, id := range participants {
-		isParticipant[id] = i
-	}
-	for _, id := range arrived {
-		if slot, ok := isParticipant[id]; ok {
-			results[id] = SyncReply{Payload: personalized[slot], Participant: true}
-		} else {
-			results[id] = SyncReply{Payload: append(fed.Payload(nil), s.global...)}
+	report := s.engine.CompleteRound(contribs, fedcore.RoundStats{
+		Expected: s.cfg.Clients,
+		Selected: len(participants),
+		Arrived:  len(arrived),
+		TimedOut: timedOut,
+	}, func(personalized map[int]fedcore.Payload, global fedcore.Payload) (int, time.Duration) {
+		for _, id := range arrived {
+			if p, ok := personalized[id]; ok {
+				results[id] = SyncReply{Payload: p, Participant: true}
+			} else {
+				results[id] = SyncReply{Payload: append(fed.Payload(nil), global...)}
+			}
 		}
-	}
-	s.reports = append(s.reports, RoundInfo{
-		Round:        s.round,
-		Expected:     s.cfg.Clients,
-		Arrived:      len(arrived),
-		Participants: len(participants),
-		TimedOut:     timedOut,
+		return 0, 0
 	})
-	s.lastRound = s.round
+
+	s.lastRound = report.Round
 	s.lastResults = results
 	s.pending = map[int]fed.Payload{}
-	s.round++
 	s.roundDone = make(chan struct{})
 	if s.timer != nil {
 		s.timer.Stop()
 		s.timer = nil
 	}
 
-	obs.GlobalTimers().Add(obs.PhaseAggregate, aggDur)
 	mNetRounds.Inc()
 	if timedOut {
 		mNetTimedOut.Inc()
 	}
-	gNetRound.Set(float64(s.round))
-	hNetAggregate.Observe(aggDur.Seconds())
-	if obs.Active() {
-		e := obs.E("fednet_round").At(-1, s.lastRound, -1).
-			F("expected", float64(s.cfg.Clients)).
-			F("arrived", float64(len(arrived))).
-			F("participants", float64(len(participants))).
-			F("aggregate_seconds", aggDur.Seconds())
-		if timedOut {
-			e.F("timed_out", 1)
-		}
-		obs.Emit(e)
-	}
+	gNetRound.Set(float64(s.engine.Round()))
 }

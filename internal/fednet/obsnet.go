@@ -5,7 +5,10 @@ import "repro/internal/obs"
 // Networked-federation metrics, registered into the default registry so a
 // pfrl-node process exposes its server barrier state and client
 // fault-tolerance counters on -metrics-addr. One process typically runs one
-// role, so the server and client instrument sets don't collide.
+// role, so the server and client instrument sets don't collide. Round-level
+// aggregation metrics (pfrl_fed_rounds_total, pfrl_fed_aggregate_seconds,
+// ...) come from the shared engine in internal/fedcore; only the
+// barrier/transport instruments live here.
 var (
 	netReg = obs.DefaultRegistry()
 
@@ -18,8 +21,6 @@ var (
 		"aggregation rounds completed by the server")
 	mNetTimedOut = netReg.Counter("pfrl_fednet_rounds_timed_out_total",
 		"rounds closed by the deadline instead of a full barrier")
-	hNetAggregate = netReg.Histogram("pfrl_fednet_aggregate_seconds",
-		"server-side aggregation time per networked round", nil)
 
 	// Client side.
 	mNetRetries = netReg.Counter("pfrl_fednet_client_retries_total",
