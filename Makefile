@@ -13,9 +13,9 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci vet staticcheck build test race test-race fuzz-smoke bench perf metrics-smoke
+.PHONY: ci vet staticcheck build test race test-race fuzz-smoke bench bench-env perf metrics-smoke
 
-ci: vet staticcheck build race test-race bench-smoke metrics-smoke
+ci: vet staticcheck build race test-race bench-smoke bench-env metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -62,8 +62,16 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test ./internal/rl/ -run xxx -bench 'BenchmarkRolloutStep|BenchmarkPPOUpdate' -benchtime=1x -benchmem
 
+# Simulator-core and rollout benchmarks under the allocation guard: fails
+# if BenchmarkEnvStep or BenchmarkRolloutStep report any allocs/op. Runs a
+# short fixed iteration count in ci; override with BENCHTIME=2s for a full
+# measurement.
+bench-env:
+	GO="$(GO)" ./scripts/bench_alloc_guard.sh
+
 bench:
 	$(GO) test ./internal/rl/ -run xxx -bench 'BenchmarkRolloutStep|BenchmarkPPOUpdate' -benchmem
+	$(GO) test ./internal/cloudsim/ -run xxx -bench 'BenchmarkEnvStep|BenchmarkObserve|BenchmarkEpisode' -benchmem
 
 perf:
 	$(GO) run ./cmd/pfrl-bench -exp perf -benchdir .

@@ -9,10 +9,12 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/cloudsim"
 	"repro/internal/core"
 	"repro/internal/rl"
 	"repro/internal/tensor"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // The perf experiment exercises the two hot loops of every figure in this
@@ -116,7 +118,115 @@ func runPerf(bc benchConfig) error {
 		fmt.Printf("tensor pool: %d gets, %d recycled (%.1f%% hit rate)\n",
 			gets, hits, 100*float64(hits)/float64(gets))
 	}
+	if err := runEnvStep(bc); err != nil {
+		return err
+	}
 	return runTrainPhases(bc)
+}
+
+// Simulator-core benchmark dimensions: the default 20-VM heterogeneous
+// cluster (Table-3 capacity mix) scheduling a seeded Google-trace episode.
+const (
+	envStepVMs   = 20
+	envStepTasks = 400
+	// envStepBaselineNs is the measured ns/op of the same benchmark loop on
+	// the pre-incremental engine (per-VM task maps scanned every slot, map
+	// lookups per observed vCPU), on the reference CI machine (Intel Xeon
+	// 2.10 GHz). Kept so BENCH_EnvStep.json pins the speedup trajectory.
+	envStepBaselineNs = 2951.0
+)
+
+// envStepResult is the schema of the BENCH_EnvStep.json artifact.
+type envStepResult struct {
+	Name            string  `json:"name"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	VMs             int     `json:"vms"`
+	Tasks           int     `json:"tasks"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	Speedup         float64 `json:"speedup_vs_baseline"`
+}
+
+// envStepCluster mirrors internal/cloudsim's benchmark cluster: 20 VMs in
+// the Table-3 capacity mix.
+func envStepCluster() []cloudsim.VMSpec {
+	var specs []cloudsim.VMSpec
+	add := func(n, cpu int, mem float64) {
+		for i := 0; i < n; i++ {
+			specs = append(specs, cloudsim.VMSpec{CPU: cpu, Mem: mem})
+		}
+	}
+	add(8, 8, 64)
+	add(6, 16, 128)
+	add(4, 32, 256)
+	add(2, 64, 512)
+	return specs
+}
+
+func benchEnvStep(b *testing.B) {
+	specs := envStepCluster()
+	rng := rand.New(rand.NewSource(1))
+	tasks := cloudsim.ClampTasks(workload.SampleDataset(workload.Google, rng, envStepTasks), specs)
+	env, err := cloudsim.NewEnv(cloudsim.DefaultConfig(specs), tasks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	firstFit := func() int {
+		head, ok := env.HeadTask()
+		if !ok {
+			return env.WaitAction()
+		}
+		for i, vm := range env.VMs() {
+			if vm.Fits(head) {
+				return i
+			}
+		}
+		return env.WaitAction()
+	}
+	buf := make([]float64, env.StateDim())
+	for !env.Done() { // warm episode: grow every internal buffer
+		buf = env.Observe(buf)
+		env.Step(firstFit())
+	}
+	env.Reset(tasks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = env.Observe(buf)
+		env.Step(firstFit())
+		if env.Done() {
+			env.Reset(tasks)
+		}
+	}
+}
+
+// runEnvStep measures the simulator's per-decision hot path (Observe +
+// first-fit choice + Step on the default 20-VM cluster) and records it next
+// to the frozen pre-incremental-engine baseline.
+func runEnvStep(bc benchConfig) error {
+	r := testing.Benchmark(benchEnvStep)
+	res := envStepResult{
+		Name:            "EnvStep",
+		Iterations:      r.N,
+		NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp:     r.AllocsPerOp(),
+		BytesPerOp:      r.AllocedBytesPerOp(),
+		VMs:             envStepVMs,
+		Tasks:           envStepTasks,
+		BaselineNsPerOp: envStepBaselineNs,
+	}
+	if res.NsPerOp > 0 {
+		res.Speedup = envStepBaselineNs / res.NsPerOp
+	}
+	fmt.Printf("\nsimulator core (%d VMs, %d-task seeded episode):\n", res.VMs, res.Tasks)
+	t := trace.NewTable("benchmark", "iters", "ns/op", "allocs/op", "baseline ns/op", "speedup")
+	t.AddRow(res.Name, res.Iterations, res.NsPerOp, res.AllocsPerOp,
+		res.BaselineNsPerOp, fmt.Sprintf("%.2fx", res.Speedup))
+	fmt.Print(t.String())
+	bc.writeJSON("BENCH_EnvStep.json", res)
+	return nil
 }
 
 // phasesResult is the schema of the BENCH_TrainPhases.json artifact: the

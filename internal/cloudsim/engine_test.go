@@ -1,0 +1,449 @@
+package cloudsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestRetirementOrderDeterministic pins the determinism fix of the
+// event-driven engine. Two tasks finish on the same VM in the same slot;
+// their memory sizes are chosen so that adding the freed amounts back in
+// different orders yields different float64 results. The old map-backed
+// store retired same-slot tasks in Go map-iteration order, so freeMem could
+// come out as either value depending on the run — the completion heap
+// retires in (finish slot, task ID) order, always.
+func TestRetirementOrderDeterministic(t *testing.T) {
+	const memA, memB = 0.1, 3.3 // task 0 and task 1 memory, GiB
+	// freeMem after both placements, then freed in ID order / reverse order.
+	base := (16.0 - memA) - memB
+	idOrder := (base + memA) + memB
+	revOrder := (base + memB) + memA
+	if idOrder == revOrder {
+		t.Fatal("test constants are not order-sensitive; pick different memory sizes")
+	}
+
+	cfg := DefaultConfig([]VMSpec{{CPU: 4, Mem: 16}})
+	tasks := []workload.Task{
+		{ID: 0, Arrival: 0, CPU: 1, Mem: memA, Duration: 2},
+		{ID: 1, Arrival: 0, CPU: 1, Mem: memB, Duration: 2},
+	}
+	for trial := 0; trial < 100; trial++ {
+		env := MustNewEnv(cfg, tasks)
+		env.Step(0) // place task 0 at slot 0, finishes at slot 2
+		env.Step(0) // place task 1 at slot 0, finishes at slot 2
+		env.Drain()
+		got := env.VMs()[0].FreeMem()
+		if got != idOrder {
+			t.Fatalf("trial %d: freeMem %.20g, want ID-order accumulation %.20g (reverse order gives %.20g)",
+				trial, got, idOrder, revOrder)
+		}
+	}
+}
+
+// TestCompletionHeapOrder checks the heap primitive directly: pops come out
+// sorted by (finish, task ID) regardless of push order.
+func TestCompletionHeapOrder(t *testing.T) {
+	e := &Env{}
+	in := []completion{
+		{finish: 5, id: 9}, {finish: 3, id: 2}, {finish: 5, id: 1},
+		{finish: 1, id: 7}, {finish: 3, id: 0}, {finish: 5, id: 4},
+	}
+	for _, c := range in {
+		e.heapPush(c)
+	}
+	prev := completion{finish: -1, id: -1}
+	for range in {
+		c := e.heapPop()
+		if completionLess(c, prev) {
+			t.Fatalf("heap popped %v after %v", c, prev)
+		}
+		prev = c
+	}
+	if len(e.heap) != 0 {
+		t.Fatalf("heap not drained: %d left", len(e.heap))
+	}
+}
+
+// TestQueueCursorLifecycle exercises the cursor-indexed waiting and pending
+// queues: FIFO order across arrivals, placements, and injections, plus the
+// cursor resets that let the backing arrays be reused instead of pinned by
+// re-slicing.
+func TestQueueCursorLifecycle(t *testing.T) {
+	const n = 200
+	cfg := DefaultConfig([]VMSpec{{CPU: 64, Mem: 512}})
+	tasks := make([]workload.Task, n)
+	for i := range tasks {
+		tasks[i] = workload.Task{ID: i, Arrival: i / 50, CPU: 1, Mem: 1, Duration: 1}
+	}
+	env := MustNewEnv(cfg, tasks)
+	placed := 0
+	for !env.Done() {
+		if _, ok := env.HeadTask(); ok && env.VMs()[0].Fits(mustHead(env)) {
+			env.Step(0)
+			placed++
+			if placed == n/2 {
+				env.Inject(workload.Task{ID: n, Arrival: 0, CPU: 1, Mem: 1, Duration: 1})
+			}
+		} else {
+			env.Step(env.WaitAction())
+		}
+	}
+	recs := env.Records()
+	if len(recs) != n+1 {
+		t.Fatalf("completed %d, want %d", len(recs), n+1)
+	}
+	// FIFO: placement order must follow queue order — tasks 0..99 (arrival
+	// waves 0 and 1), then the injected task entered the queue mid-wave;
+	// starts must be non-decreasing either way.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Start < recs[i-1].Start {
+			t.Fatalf("placements out of order: record %d starts at %d after %d",
+				i, recs[i].Start, recs[i-1].Start)
+		}
+	}
+	// Cursors must have been reset when their queues drained, so the
+	// buffers are reusable rather than re-sliced away.
+	if env.qhead != 0 || len(env.queue) != 0 {
+		t.Fatalf("waiting queue not compacted: qhead=%d len=%d", env.qhead, len(env.queue))
+	}
+	if env.phead != 0 || len(env.pending) != 0 {
+		t.Fatalf("pending queue not reset: phead=%d len=%d", env.phead, len(env.pending))
+	}
+	if cap(env.queue) > 4*n {
+		t.Fatalf("queue backing array grew unboundedly: cap %d", cap(env.queue))
+	}
+}
+
+func mustHead(env *Env) workload.Task {
+	h, ok := env.HeadTask()
+	if !ok {
+		panic("no head task")
+	}
+	return h
+}
+
+// TestStepZeroAllocSteadyState pins the engine-side half of the rollout
+// fast path: after one warm episode, a full environment interaction —
+// Observe into a reused buffer, FeasibleActionsInto into a reused mask,
+// action choice, Step, and the in-place Reset at episode end — allocates
+// nothing.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	specs := benchCluster()
+	tasks := benchWorkload(specs, 200)
+	env := MustNewEnv(DefaultConfig(specs), tasks)
+	buf := make([]float64, env.StateDim())
+	mask := make([]bool, env.NumActions())
+	stepOnce := func() {
+		buf = env.Observe(buf)
+		mask = env.FeasibleActionsInto(mask)
+		env.Step(benchFirstFit(env))
+		if env.Done() {
+			env.Reset(tasks)
+		}
+	}
+	for !env.Done() { // warm episode: grow every internal buffer
+		buf = env.Observe(buf)
+		mask = env.FeasibleActionsInto(mask)
+		env.Step(benchFirstFit(env))
+	}
+	env.Reset(tasks)
+	if allocs := testing.AllocsPerRun(500, stepOnce); allocs != 0 {
+		t.Fatalf("env step allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// scratchLoadBalance recomputes Eq. (4) from the VM free counters alone,
+// with the same summation order as Env.loadBalance but none of its cached
+// inputs — the independent reference the cache is checked against.
+func scratchLoadBalance(cfg Config, vms []*VM) float64 {
+	n := float64(len(vms))
+	total := 0.0
+	for i := 0; i < NumResources; i++ {
+		avg := 0.0
+		for _, vm := range vms {
+			avg += 1 - scratchUtil(vm, i)
+		}
+		avg /= n
+		variance := 0.0
+		for _, vm := range vms {
+			d := (1 - scratchUtil(vm, i)) - avg
+			variance += d * d
+		}
+		total += cfg.ResourceWeights[i] * math.Sqrt(variance/n)
+	}
+	return total
+}
+
+func scratchUtil(v *VM, resource int) float64 {
+	switch resource {
+	case 0:
+		if v.Spec.CPU == 0 {
+			return 0
+		}
+		return float64(v.Spec.CPU-v.freeCPU) / float64(v.Spec.CPU)
+	default:
+		if v.Spec.Mem == 0 {
+			return 0
+		}
+		return (v.Spec.Mem - v.freeMem) / v.Spec.Mem
+	}
+}
+
+// TestCachedStatsMatchScratchRecompute drives a seeded episode on a 3-VM
+// cluster and, after every step, checks that the cached utilization /
+// remaining fractions and the load-balance value read from them are
+// bit-equal to a from-scratch recompute off the raw free counters. It also
+// folds the per-slot accumulators (util, load-balance, energy, cost)
+// independently and requires bit-equality at the end.
+func TestCachedStatsMatchScratchRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := DefaultConfig([]VMSpec{{CPU: 4, Mem: 16}, {CPU: 8, Mem: 32}, {CPU: 16, Mem: 64}})
+	tasks := ClampTasks(workload.SampleDataset(workload.Google, rng, 80), cfg.VMs)
+	env := MustNewEnv(cfg, tasks)
+
+	// Shadow accumulators, folded exactly like accumulateSlotStats.
+	var utilSum [NumResources]float64
+	loadBalSum, energySum, costSum := 0.0, 0.0, 0.0
+	slots := 0
+	accumulate := func() {
+		for i := 0; i < NumResources; i++ {
+			s := 0.0
+			for _, vm := range env.vms {
+				s += scratchUtil(vm, i)
+			}
+			utilSum[i] += s / float64(len(env.vms))
+		}
+		loadBalSum += scratchLoadBalance(cfg, env.vms)
+		for i, vm := range env.vms {
+			busy := vm.RunningTasks() > 0
+			energySum += cfg.Power.draw(scratchUtil(vm, 0), busy)
+			if busy {
+				costSum += env.vmPrice(i)
+			}
+		}
+		slots++
+	}
+	accumulate() // mirror the slot-0 accumulation done by Reset
+
+	check := func(step int) {
+		for i, vm := range env.vms {
+			for r := 0; r < NumResources; r++ {
+				if vm.util[r] != scratchUtil(vm, r) {
+					t.Fatalf("step %d VM %d: cached util[%d]=%v, scratch %v",
+						step, i, r, vm.util[r], scratchUtil(vm, r))
+				}
+				if vm.rem[r] != 1-scratchUtil(vm, r) {
+					t.Fatalf("step %d VM %d: cached rem[%d]=%v, scratch %v",
+						step, i, r, vm.rem[r], 1-scratchUtil(vm, r))
+				}
+			}
+		}
+		if got, want := env.loadBalance(), scratchLoadBalance(cfg, env.vms); got != want {
+			t.Fatalf("step %d: cached loadBalance %v, scratch %v", step, got, want)
+		}
+	}
+
+	p := FirstFit{}
+	step := 0
+	for !env.Done() {
+		before := env.now
+		env.Step(p.SelectAction(env))
+		step++
+		if env.now != before { // time advanced: fold one slot into the shadow
+			accumulate()
+		}
+		check(step)
+	}
+	for len(env.heap) > 0 {
+		env.advanceTime()
+		accumulate()
+		check(step)
+	}
+
+	if slots != env.slots {
+		t.Fatalf("shadow folded %d slots, env %d", slots, env.slots)
+	}
+	for i := 0; i < NumResources; i++ {
+		if utilSum[i] != env.utilSum[i] {
+			t.Fatalf("utilSum[%d]: shadow %v, env %v", i, utilSum[i], env.utilSum[i])
+		}
+	}
+	if loadBalSum != env.loadBalSum {
+		t.Fatalf("loadBalSum: shadow %v, env %v", loadBalSum, env.loadBalSum)
+	}
+	if energySum != env.energySum {
+		t.Fatalf("energySum: shadow %v, env %v", energySum, env.energySum)
+	}
+	if costSum != env.costSum {
+		t.Fatalf("costSum: shadow %v, env %v", costSum, env.costSum)
+	}
+}
+
+// TestSlotStatsHandComputed pins the per-slot accounting against a
+// hand-computed reference table on a tiny 3-VM scenario with
+// paper-friendly numbers (Eqs. 4, 24, 25 and the energy/cost models).
+func TestSlotStatsHandComputed(t *testing.T) {
+	cfg := DefaultConfig([]VMSpec{{CPU: 2, Mem: 8}, {CPU: 2, Mem: 8}, {CPU: 4, Mem: 16}})
+	tasks := []workload.Task{
+		{ID: 0, Arrival: 0, CPU: 2, Mem: 8, Duration: 3}, // fills VM 0 exactly
+		{ID: 1, Arrival: 0, CPU: 2, Mem: 4, Duration: 2}, // half of VM 2's CPU
+	}
+	env := MustNewEnv(cfg, tasks)
+
+	// Slot 0 pre-placement: empty cluster, perfectly balanced.
+	if lb := env.LoadBalance(); lb != 0 {
+		t.Fatalf("empty cluster load balance %v, want 0", lb)
+	}
+
+	env.Step(0) // task 0 -> VM 0, both resources fully used
+	// Remaining fractions now (0, 1, 1) for CPU and memory alike:
+	// avg = 2/3, variance = ((0-2/3)^2 + (1/3)^2 + (1/3)^2)/3 = 2/9.
+	{
+		avg := (0.0 + 1.0 + 1.0) / 3.0
+		v := ((0-avg)*(0-avg) + (1-avg)*(1-avg) + (1-avg)*(1-avg)) / 3.0
+		want := 0.5*math.Sqrt(v) + 0.5*math.Sqrt(v)
+		if got := env.LoadBalance(); got != want {
+			t.Fatalf("load balance after first placement: %v, want %v", got, want)
+		}
+	}
+
+	env.Step(2) // task 1 -> VM 2: CPU rem 0.5, mem rem 12/16 = 0.75
+	{
+		cpuAvg := (0.0 + 1.0 + 0.5) / 3.0
+		cpuVar := ((0-cpuAvg)*(0-cpuAvg) + (1-cpuAvg)*(1-cpuAvg) + (0.5-cpuAvg)*(0.5-cpuAvg)) / 3.0
+		memAvg := (0.0 + 1.0 + 0.75) / 3.0
+		memVar := ((0-memAvg)*(0-memAvg) + (1-memAvg)*(1-memAvg) + (0.75-memAvg)*(0.75-memAvg)) / 3.0
+		want := 0.5*math.Sqrt(cpuVar) + 0.5*math.Sqrt(memVar)
+		if got := env.LoadBalance(); got != want {
+			t.Fatalf("load balance after second placement: %v, want %v", got, want)
+		}
+	}
+
+	// Both tasks are placed, so the episode is complete; advance the clock
+	// directly to fold slot 1 (both tasks still running) into the stats.
+	env.advanceTime()
+	// The slot-1 accumulation sees VM0 fully busy, VM1 idle, VM2 half CPU /
+	// quarter mem. Slot 0 (accumulated at Reset) saw an empty cluster.
+	{
+		wantCPUUtil := (1.0 + 0.0 + 0.5) / 3.0
+		wantMemUtil := (1.0 + 0.0 + 0.25) / 3.0
+		if env.utilSum[0] != wantCPUUtil || env.utilSum[1] != wantMemUtil {
+			t.Fatalf("utilSum (%v, %v), want (%v, %v)",
+				env.utilSum[0], env.utilSum[1], wantCPUUtil, wantMemUtil)
+		}
+		// Energy: VM0 at full CPU draws peak 300 W; VM1 idle draws 0;
+		// VM2 at half CPU draws 100 + 0.5*200 = 200 W.
+		if env.energySum != 500 {
+			t.Fatalf("energySum %v, want 500", env.energySum)
+		}
+		// Cost: busy VMs bill capacity-derived prices, VM0 = 2 + 8/8 = 3,
+		// VM2 = 4 + 16/8 = 6.
+		if env.costSum != 9 {
+			t.Fatalf("costSum %v, want 9", env.costSum)
+		}
+		if env.slots != 2 {
+			t.Fatalf("slots %d, want 2", env.slots)
+		}
+	}
+
+	// Drain the schedule: task 1 finishes at slot 2, task 0 at slot 3.
+	env.Drain()
+	m := env.Metrics()
+	if m.Makespan != 3 || m.Completed != 2 {
+		t.Fatalf("makespan %d completed %d, want 3 and 2", m.Makespan, m.Completed)
+	}
+	// AvgUtil (Eq. 24): mean over 4 slots (0..3) of the weighted util.
+	// Slot 0: 0. Slot 1: as above. Slot 2: task 1 finished -> VM2 idle.
+	// Slot 3: task 0 finished -> all idle.
+	{
+		slot1 := 0.5*((1.0+0.0+0.5)/3.0) + 0.5*((1.0+0.0+0.25)/3.0)
+		slot2 := 0.5*(1.0/3.0) + 0.5*(1.0/3.0)
+		want := (slot1 + slot2) / 4.0
+		if math.Abs(m.AvgUtil-want) > 1e-15 {
+			t.Fatalf("AvgUtil %v, want %v", m.AvgUtil, want)
+		}
+	}
+}
+
+// TestObserveMatchesNaiveEncoding guards the prototype-copy Observe fast
+// path: on every step of a seeded episode, the encoded observation must be
+// bit-identical to a naive re-encoding that walks all positions.
+func TestObserveMatchesNaiveEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := DefaultConfig([]VMSpec{{CPU: 4, Mem: 16}, {CPU: 8, Mem: 32}})
+	cfg.PadVMs = 3 // one void VM slot
+	tasks := ClampTasks(workload.SampleDataset(workload.Alibaba2017, rng, 50), cfg.VMs)
+	env := MustNewEnv(cfg, tasks)
+
+	naive := func() []float64 {
+		out := make([]float64, env.StateDim())
+		off := 0
+		for i := 0; i < cfg.PadVMs; i++ {
+			if i < len(env.vms) {
+				out[off] = float64(env.vms[i].freeCPU) / float64(cfg.MaxCPU)
+				out[off+1] = env.vms[i].freeMem / cfg.MaxMem
+			} else {
+				out[off], out[off+1] = VoidMarker, VoidMarker
+			}
+			off += NumResources
+		}
+		for i := 0; i < cfg.PadVMs; i++ {
+			for k := 0; k < cfg.PadVCPUs; k++ {
+				if i >= len(env.vms) || k >= env.vms[i].Spec.CPU {
+					out[off] = VoidMarker
+				} else {
+					out[off] = env.vms[i].progress(k, env.now)
+				}
+				off++
+			}
+		}
+		for q := 0; q < cfg.QueueDepth; q++ {
+			if q < env.QueueLen() {
+				tk := env.queue[env.qhead+q]
+				out[off] = float64(tk.CPU) / float64(cfg.MaxCPU)
+				out[off+1] = tk.Mem / cfg.MaxMem
+			} else {
+				out[off], out[off+1] = VoidMarker, VoidMarker
+			}
+			off += NumResources
+		}
+		return out
+	}
+
+	var buf []float64
+	p := FirstFit{}
+	for !env.Done() {
+		buf = env.Observe(buf)
+		want := naive()
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("observation mismatch at position %d: fast %v, naive %v", i, buf[i], want[i])
+			}
+		}
+		env.Step(p.SelectAction(env))
+	}
+}
+
+// TestFeasibleActionsIntoMatches checks the Into variant against the
+// allocating entry point and the scratch-reuse contract.
+func TestFeasibleActionsIntoMatches(t *testing.T) {
+	cfg := DefaultConfig([]VMSpec{{CPU: 2, Mem: 4}, {CPU: 8, Mem: 32}})
+	tasks := []workload.Task{{ID: 0, Arrival: 0, CPU: 4, Mem: 8, Duration: 2}}
+	env := MustNewEnv(cfg, tasks)
+	a := env.FeasibleActions()
+	b := env.FeasibleActionsInto(make([]bool, env.NumActions()))
+	if len(a) != len(b) {
+		t.Fatalf("mask lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mask mismatch at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if &env.FeasibleActions()[0] != &a[0] {
+		t.Fatal("FeasibleActions should reuse its scratch mask")
+	}
+}

@@ -121,17 +121,47 @@ func (r TaskRecord) Wait() int { return r.Start - r.Task.Arrival }
 // Response returns j^res = j^wait + j^run (Eq. 3).
 func (r TaskRecord) Response() int { return r.Finish - r.Task.Arrival }
 
+// completion is one entry of the cluster-wide completion heap: a task in a
+// VM's store, keyed by the slot it finishes in with the task ID as the
+// tie-break. The ordering makes same-slot retirements deterministic.
+type completion struct {
+	finish int
+	id     int
+	vm     int32
+	slot   int32
+}
+
+// completionLess orders the heap by (finish slot, task ID).
+func completionLess(a, b completion) bool {
+	return a.finish < b.finish || (a.finish == b.finish && a.id < b.id)
+}
+
 // Env is one client's scheduling environment. It is deterministic: all
 // stochasticity lives in the workload sampling and the agent's policy.
 // An Env is not safe for concurrent use.
+//
+// The state engine is event-driven: every placement pushes its known finish
+// slot onto a completion min-heap, and advancing time pops exactly the
+// tasks that finish — in (finish slot, task ID) order — instead of scanning
+// every VM. The waiting and pending queues are cursor-indexed so popping
+// does not re-slice the backing arrays forever, and Reset reuses all
+// buffers, keeping steady-state Step at zero allocations.
 type Env struct {
 	cfg  Config
 	vms  []*VM
 	now  int
 	step int
 
-	pending    []workload.Task // sorted by arrival, not yet arrived
-	queue      []workload.Task // waiting queue (FIFO)
+	pending []workload.Task // sorted by arrival; phead..len not yet arrived
+	phead   int
+	queue   []workload.Task // waiting queue (FIFO); qhead..len are waiting
+	qhead   int
+
+	heap []completion // min-heap of outstanding task completions
+
+	mask     []bool    // scratch reused by FeasibleActions
+	obsProto []float64 // static observation template (see buildObsProto)
+
 	completed  []TaskRecord
 	totalTasks int
 
@@ -171,18 +201,28 @@ func MustNewEnv(cfg Config, tasks []workload.Task) *Env {
 
 // Reset reinitializes the environment with a new task set, keeping the
 // configuration. Tasks must be sorted by arrival (workload generators
-// guarantee this).
+// guarantee this). All internal buffers are reused, so resetting with a
+// same-shaped workload does not allocate in steady state.
 func (e *Env) Reset(tasks []workload.Task) {
-	e.vms = make([]*VM, len(e.cfg.VMs))
+	if len(e.vms) != len(e.cfg.VMs) {
+		e.vms = make([]*VM, len(e.cfg.VMs))
+		for i := range e.vms {
+			e.vms[i] = &VM{}
+		}
+	}
 	for i, spec := range e.cfg.VMs {
-		e.vms[i] = newVM(spec)
+		e.vms[i].reset(spec)
 	}
 	e.now = 0
 	e.step = 0
-	e.pending = append([]workload.Task(nil), tasks...)
-	e.queue = nil
+	e.pending = append(e.pending[:0], tasks...)
+	e.phead = 0
+	e.queue = e.queue[:0]
+	e.qhead = 0
+	e.heap = e.heap[:0]
 	e.completed = e.completed[:0]
 	e.totalTasks = len(tasks)
+	e.buildObsProto()
 	e.utilSum = [NumResources]float64{}
 	e.loadBalSum = 0
 	e.energySum = 0
@@ -199,17 +239,34 @@ func (e *Env) Config() Config { return e.cfg }
 func (e *Env) Now() int { return e.now }
 
 // QueueLen returns the number of waiting tasks.
-func (e *Env) QueueLen() int { return len(e.queue) }
+func (e *Env) QueueLen() int { return len(e.queue) - e.qhead }
 
 // PendingLen returns the number of tasks that have not yet arrived.
-func (e *Env) PendingLen() int { return len(e.pending) }
+func (e *Env) PendingLen() int { return len(e.pending) - e.phead }
 
 // HeadTask returns the task at the head of the waiting queue.
 func (e *Env) HeadTask() (workload.Task, bool) {
-	if len(e.queue) == 0 {
+	if e.qhead == len(e.queue) {
 		return workload.Task{}, false
 	}
-	return e.queue[0], true
+	return e.queue[e.qhead], true
+}
+
+// popHead removes the waiting queue's head. Popping advances a cursor
+// rather than re-slicing, and the buffer is compacted once the consumed
+// prefix dominates it, so a long episode does not pin the whole backing
+// array the way `queue = queue[1:]` did.
+func (e *Env) popHead() {
+	e.qhead++
+	switch {
+	case e.qhead == len(e.queue):
+		e.queue = e.queue[:0]
+		e.qhead = 0
+	case e.qhead >= 64 && 2*e.qhead >= len(e.queue):
+		n := copy(e.queue, e.queue[e.qhead:])
+		e.queue = e.queue[:n]
+		e.qhead = 0
+	}
 }
 
 // VMs exposes the simulated machines (read-only use expected).
@@ -237,18 +294,35 @@ func (e *Env) Truncated() bool {
 
 // FeasibleActions returns a mask over the action space: placements that fit
 // the head task, plus Wait (always allowed). With an empty queue only Wait
-// is feasible.
+// is feasible. The returned slice is a scratch buffer reused by the next
+// FeasibleActions call; callers that need to retain it across steps should
+// use FeasibleActionsInto with their own buffer.
 func (e *Env) FeasibleActions() []bool {
-	mask := make([]bool, e.NumActions())
-	mask[e.WaitAction()] = true
+	e.mask = e.FeasibleActionsInto(e.mask)
+	return e.mask
+}
+
+// FeasibleActionsInto writes the feasibility mask into dst (reallocating
+// when dst is too small) and returns the buffer, so rollout loops can stay
+// allocation-free.
+func (e *Env) FeasibleActionsInto(dst []bool) []bool {
+	n := e.NumActions()
+	if cap(dst) < n {
+		dst = make([]bool, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = false
+	}
+	dst[e.WaitAction()] = true
 	head, ok := e.HeadTask()
 	if !ok {
-		return mask
+		return dst
 	}
 	for i, vm := range e.vms {
-		mask[i] = vm.Fits(head)
+		dst[i] = vm.Fits(head)
 	}
-	return mask
+	return dst
 }
 
 // anyFeasiblePlacement reports whether some real VM fits the head task.
@@ -315,8 +389,14 @@ func (e *Env) Step(action int) float64 {
 	before := e.loadBalance()
 	wasBusy := vm.RunningTasks() > 0
 	utilBefore := vm.utilization(0)
-	vm.place(head, e.now)
-	e.queue = e.queue[1:]
+	slot := vm.place(head, e.now)
+	e.heapPush(completion{
+		finish: e.now + head.Duration,
+		id:     head.ID,
+		vm:     int32(action),
+		slot:   int32(slot),
+	})
+	e.popHead()
 	after := e.loadBalance()
 	utilAfter := vm.utilization(0)
 	// The record's Finish is known at placement time because the simulator
@@ -404,21 +484,68 @@ func (e *Env) loadBalance() float64 {
 // LoadBalance exposes Eq. (4) for metrics and tests.
 func (e *Env) LoadBalance() float64 { return e.loadBalance() }
 
-// advanceTime moves the clock one slot: running tasks progress and finish,
-// new arrivals join the queue, and the per-slot metric accumulators update.
+// advanceTime moves the clock one slot: tasks whose finish slot has come
+// are popped off the completion heap (in deterministic (finish, task ID)
+// order), new arrivals join the queue, and the per-slot metric accumulators
+// update. The pop loop touches only tasks that actually finish, so slots
+// where nothing completes cost O(1) instead of a full cluster scan.
 func (e *Env) advanceTime() {
 	e.now++
-	for _, vm := range e.vms {
-		vm.collectFinished(e.now)
+	for len(e.heap) > 0 && e.heap[0].finish <= e.now {
+		c := e.heapPop()
+		e.vms[c.vm].retire(int(c.slot))
 	}
 	e.admitArrivals()
 	e.accumulateSlotStats()
 }
 
+// heapPush adds a completion to the min-heap.
+func (e *Env) heapPush(c completion) {
+	e.heap = append(e.heap, c)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !completionLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+// heapPop removes and returns the earliest completion.
+func (e *Env) heapPop() completion {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && completionLess(e.heap[l], e.heap[small]) {
+			small = l
+		}
+		if r < n && completionLess(e.heap[r], e.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		e.heap[i], e.heap[small] = e.heap[small], e.heap[i]
+		i = small
+	}
+	return top
+}
+
 func (e *Env) admitArrivals() {
-	for len(e.pending) > 0 && e.pending[0].Arrival <= e.now {
-		e.queue = append(e.queue, e.pending[0])
-		e.pending = e.pending[1:]
+	for e.phead < len(e.pending) && e.pending[e.phead].Arrival <= e.now {
+		e.queue = append(e.queue, e.pending[e.phead])
+		e.phead++
+	}
+	if e.phead == len(e.pending) {
+		e.pending = e.pending[:0]
+		e.phead = 0
 	}
 }
 
@@ -454,7 +581,7 @@ func (e *Env) Inject(t workload.Task) {
 	// Keep Done meaningful: the expected count must cover every task the
 	// environment knows about. ExpectTotal may already have reserved
 	// headroom for this injection.
-	if known := len(e.queue) + len(e.pending) + len(e.completed); e.totalTasks < known {
+	if known := e.QueueLen() + e.PendingLen() + len(e.completed); e.totalTasks < known {
 		e.totalTasks = known
 	}
 }
@@ -464,7 +591,7 @@ func (e *Env) Inject(t workload.Task) {
 // stages whose dependencies have not completed yet). n must be at least
 // the number of tasks currently known to the environment.
 func (e *Env) ExpectTotal(n int) {
-	known := len(e.queue) + len(e.pending) + len(e.completed)
+	known := e.QueueLen() + e.PendingLen() + len(e.completed)
 	if n < known {
 		panic(fmt.Sprintf("cloudsim: ExpectTotal(%d) below known task count %d", n, known))
 	}

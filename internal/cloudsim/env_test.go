@@ -230,11 +230,11 @@ func TestResourceConservation(t *testing.T) {
 		for i, vm := range env.VMs() {
 			usedCPU, usedMem := 0, 0.0
 			busyVcpus := 0
-			for _, r := range vm.tasks {
+			vm.forEachRunning(func(r *running) {
 				usedCPU += r.task.CPU
 				usedMem += r.task.Mem
 				busyVcpus += len(r.vcpus)
-			}
+			})
 			if vm.freeCPU+usedCPU != vm.Spec.CPU {
 				t.Fatalf("VM %d CPU leak: free %d used %d spec %d", i, vm.freeCPU, usedCPU, vm.Spec.CPU)
 			}

@@ -30,10 +30,8 @@ type Metrics struct {
 // the time-integrated metrics cover the full schedule. It does not place
 // any queued tasks. Call after the decision loop ends.
 func (e *Env) Drain() {
-	for _, vm := range e.vms {
-		for vm.RunningTasks() > 0 {
-			e.advanceTime()
-		}
+	for len(e.heap) > 0 {
+		e.advanceTime()
 	}
 }
 

@@ -34,41 +34,84 @@ func (e *Env) Observe(dst []float64) []float64 {
 	}
 	dst = dst[:dim]
 
+	// Start from the precomputed prototype: every void marker, idle-vCPU
+	// zero, and empty-queue slot is already in place, so the loops below
+	// only write positions that actually carry state.
+	copy(dst, e.obsProto)
+
 	cfg := e.cfg
-	off := 0
-	// S^VM: remaining capacities.
-	for i := 0; i < cfg.PadVMs; i++ {
-		if i < len(e.vms) {
-			dst[off] = float64(e.vms[i].freeCPU) / float64(cfg.MaxCPU)
-			dst[off+1] = e.vms[i].freeMem / cfg.MaxMem
-		} else {
-			dst[off] = VoidMarker
-			dst[off+1] = VoidMarker
-		}
-		off += NumResources
+	// S^VM: remaining capacities of the real VMs.
+	for i, vm := range e.vms {
+		dst[NumResources*i] = float64(vm.freeCPU) / float64(cfg.MaxCPU)
+		dst[NumResources*i+1] = vm.freeMem / cfg.MaxMem
 	}
-	// S^vCPU: running-state progress.
-	for i := 0; i < cfg.PadVMs; i++ {
-		for k := 0; k < cfg.PadVCPUs; k++ {
-			switch {
-			case i >= len(e.vms) || k >= e.vms[i].Spec.CPU:
-				dst[off] = VoidMarker
-			default:
-				dst[off] = e.vms[i].progress(k, e.now)
+	// S^vCPU: running-state progress, read straight from each VM's dense
+	// per-vCPU (owner, start, duration) arrays — no per-slot task lookups,
+	// and idle vCPUs keep the prototype's zero.
+	now := e.now
+	off := cfg.PadVMs * NumResources
+	for _, vm := range e.vms {
+		for k, owner := range vm.vcpuOwner {
+			if owner == -1 {
+				continue
 			}
-			off++
+			p := float64(now-vm.vcpuStart[k]+1) / float64(vm.vcpuDur[k])
+			if p > 1 {
+				p = 1
+			}
+			dst[off+k] = p
 		}
+		off += cfg.PadVCPUs
 	}
 	// S^Queue: requested resources of the visible queue prefix.
-	for q := 0; q < cfg.QueueDepth; q++ {
-		if q < len(e.queue) {
-			dst[off] = float64(e.queue[q].CPU) / float64(cfg.MaxCPU)
-			dst[off+1] = e.queue[q].Mem / cfg.MaxMem
-		} else {
-			dst[off] = VoidMarker
-			dst[off+1] = VoidMarker
-		}
+	off = cfg.PadVMs*NumResources + cfg.PadVMs*cfg.PadVCPUs
+	qlen := e.QueueLen()
+	if qlen > cfg.QueueDepth {
+		qlen = cfg.QueueDepth
+	}
+	for q := 0; q < qlen; q++ {
+		t := &e.queue[e.qhead+q]
+		dst[off] = float64(t.CPU) / float64(cfg.MaxCPU)
+		dst[off+1] = t.Mem / cfg.MaxMem
 		off += NumResources
 	}
 	return dst
+}
+
+// buildObsProto precomputes the static part of the observation: void
+// markers for padded VM slots, padded vCPUs, and empty queue positions,
+// and zeros for idle-but-present vCPUs. Observe copies it into the output
+// buffer and overwrites only the dynamic positions. The prototype depends
+// solely on the configuration, so Reset reuses it.
+func (e *Env) buildObsProto() {
+	dim := e.StateDim()
+	if len(e.obsProto) == dim {
+		return
+	}
+	p := make([]float64, dim)
+	cfg := e.cfg
+	off := 0
+	for i := 0; i < cfg.PadVMs; i++ {
+		if i >= len(e.vms) {
+			p[off] = VoidMarker
+			p[off+1] = VoidMarker
+		}
+		off += NumResources
+	}
+	for i := 0; i < cfg.PadVMs; i++ {
+		real := 0
+		if i < len(e.vms) {
+			real = e.vms[i].Spec.CPU
+		}
+		for k := real; k < cfg.PadVCPUs; k++ {
+			p[off+k] = VoidMarker
+		}
+		off += cfg.PadVCPUs
+	}
+	for q := 0; q < cfg.QueueDepth; q++ {
+		p[off] = VoidMarker
+		p[off+1] = VoidMarker
+		off += NumResources
+	}
+	e.obsProto = p
 }

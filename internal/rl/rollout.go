@@ -18,7 +18,11 @@ type Environment interface {
 	StateDim() int
 	// NumActions returns the size of the discrete action space.
 	NumActions() int
-	// FeasibleActions masks the currently admissible actions.
+	// FeasibleActions masks the currently admissible actions. The returned
+	// slice may be a scratch buffer reused by the environment's next
+	// FeasibleActions call (both cloudsim.Env and SyntheticEnv reuse it, so
+	// masked evaluation stays allocation-free); callers must not retain it
+	// across steps.
 	FeasibleActions() []bool
 }
 

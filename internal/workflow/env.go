@@ -174,7 +174,8 @@ func (e *Env) NumActions() int { return e.inner.NumActions() }
 // WaitAction delegates to the inner environment.
 func (e *Env) WaitAction() int { return e.inner.WaitAction() }
 
-// FeasibleActions delegates to the inner environment.
+// FeasibleActions delegates to the inner environment. The returned slice
+// is the inner environment's scratch mask, reused by its next call.
 func (e *Env) FeasibleActions() []bool { return e.inner.FeasibleActions() }
 
 // Done delegates to the inner environment (all stages placed or step cap).

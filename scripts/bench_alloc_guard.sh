@@ -1,0 +1,32 @@
+#!/bin/sh
+# Runs the zero-allocation benchmarks — the simulator core (BenchmarkEnvStep)
+# and the inference fast path (BenchmarkRolloutStep) — with -benchmem and
+# fails if either reports a nonzero allocs/op. BENCHTIME defaults to a short
+# fixed iteration count so `make ci` stays fast; run with BENCHTIME=2s for a
+# full measurement.
+set -eu
+
+BENCHTIME="${BENCHTIME:-200x}"
+GO="${GO:-go}"
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+"$GO" test ./internal/cloudsim/ -run '^$' \
+	-bench 'BenchmarkEnvStep|BenchmarkObserve|BenchmarkEpisode' \
+	-benchtime "$BENCHTIME" -benchmem | tee "$out"
+"$GO" test ./internal/rl/ -run '^$' \
+	-bench 'BenchmarkRolloutStep' \
+	-benchtime "$BENCHTIME" -benchmem | tee -a "$out"
+
+awk '
+/^Benchmark(EnvStep|RolloutStep)/ {
+	for (i = 2; i <= NF; i++) {
+		if ($i == "allocs/op" && $(i-1) != "0") {
+			printf "FAIL: %s reports %s allocs/op (want 0)\n", $1, $(i-1)
+			bad = 1
+		}
+	}
+}
+END { exit bad }
+' "$out"
+echo "bench-alloc-guard: BenchmarkEnvStep and BenchmarkRolloutStep are allocation-free"
