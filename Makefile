@@ -13,9 +13,9 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci vet staticcheck build test race test-race fuzz-smoke bench bench-env perf metrics-smoke
+.PHONY: ci vet staticcheck build test race test-race fuzz-smoke bench bench-env bench-update perf metrics-smoke
 
-ci: vet staticcheck build race test-race bench-smoke bench-env metrics-smoke
+ci: vet staticcheck build race test-race bench-smoke bench-env bench-update metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -46,9 +46,11 @@ race:
 
 # The federation layers carry the concurrency-heavy fault-tolerance tests
 # (round deadlines, retries, rejoin) and the shared round engine behind both
-# paths; run them race-enabled on every merge.
+# paths; internal/rl carries the concurrent actor/critic update pipeline and
+# its batched-vs-sequential golden tests. Run all of them race-enabled on
+# every merge.
 test-race:
-	$(GO) test -race ./internal/fedcore/... ./internal/fed/... ./internal/fednet/...
+	$(GO) test -race ./internal/fedcore/... ./internal/fed/... ./internal/fednet/... ./internal/rl/...
 
 # Short deterministic-budget run of every fuzz target (go test allows one
 # -fuzz pattern per invocation, hence three runs).
@@ -67,7 +69,12 @@ bench-smoke:
 # short fixed iteration count in ci; override with BENCHTIME=2s for a full
 # measurement.
 bench-env:
-	GO="$(GO)" ./scripts/bench_alloc_guard.sh
+	GO="$(GO)" ./scripts/bench_alloc_guard.sh env
+
+# The PPOUpdate slice of the allocation guard alone — the fast pre-merge
+# check for changes touching the update pipeline.
+bench-update:
+	GO="$(GO)" ./scripts/bench_alloc_guard.sh update
 
 bench:
 	$(GO) test ./internal/rl/ -run xxx -bench 'BenchmarkRolloutStep|BenchmarkPPOUpdate' -benchmem

@@ -49,6 +49,19 @@ type Value struct {
 	ownsData     bool // Data came from the tape's pool (op output)
 	ownsGrad     bool // Grad came from the tape's pool (not a Param buffer)
 	back         func()
+
+	// Closure-free backward state for the hot operators (see backward.go).
+	// A per-call `back` closure heap-allocates its capture block, and at
+	// ~15 operator applications per PPO minibatch those closures were the
+	// last per-update allocation source; the hot ops instead record an
+	// opcode plus operands/auxiliary state in these pooled slots and
+	// Backward dispatches statically. Reset wipes them with the rest of the
+	// struct. Ops off the update hot path still use `back`.
+	op         opcode
+	srcA, srcB *Value
+	aux0, aux1, aux2, aux3, aux4 *tensor.Matrix
+	auxS0      float64
+	auxIdx     []int
 }
 
 // Tape records operations for reverse-mode differentiation. A Tape is not
@@ -220,7 +233,12 @@ func (v *Value) Backward() {
 	t := v.tape
 	for i := len(t.nodes) - 1; i >= 0; i-- {
 		n := t.nodes[i]
-		if n.back != nil && n.Grad != nil && n.requiresGrad {
+		if n.Grad == nil || !n.requiresGrad {
+			continue
+		}
+		if n.op != opNone {
+			opBackward(n)
+		} else if n.back != nil {
 			n.back()
 		}
 	}

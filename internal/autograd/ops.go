@@ -18,21 +18,7 @@ func MatMul(a, b *Value) *Value {
 	t := sameTape(a, b)
 	out := t.opNode(a.Data.Rows, b.Data.Cols, a.requiresGrad || b.requiresGrad)
 	a.Data.MatMulInto(b.Data, out.Data)
-	out.back = func() {
-		g := out.Grad
-		if a.requiresGrad {
-			tmp := t.alloc(a.Data.Rows, a.Data.Cols)
-			g.MatMulTransBInto(b.Data, tmp)
-			a.accum(tmp)
-			t.release(tmp)
-		}
-		if b.requiresGrad {
-			tmp := t.alloc(b.Data.Rows, b.Data.Cols)
-			a.Data.MatMulTransAInto(g, tmp)
-			b.accum(tmp)
-			t.release(tmp)
-		}
-	}
+	out.op, out.srcA, out.srcB = opMatMul, a, b
 	return out
 }
 
@@ -41,10 +27,7 @@ func Add(a, b *Value) *Value {
 	t := sameTape(a, b)
 	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad || b.requiresGrad)
 	a.Data.AddInto(b.Data, out.Data)
-	out.back = func() {
-		a.accum(out.Grad)
-		b.accum(out.Grad)
-	}
+	out.op, out.srcA, out.srcB = opAdd, a, b
 	return out
 }
 
@@ -53,10 +36,7 @@ func Sub(a, b *Value) *Value {
 	t := sameTape(a, b)
 	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad || b.requiresGrad)
 	a.Data.SubInto(b.Data, out.Data)
-	out.back = func() {
-		a.accum(out.Grad)
-		b.accumScaled(out.Grad, -1)
-	}
+	out.op, out.srcA, out.srcB = opSub, a, b
 	return out
 }
 
@@ -112,15 +92,7 @@ func AddRow(a, bias *Value) *Value {
 	t := sameTape(a, bias)
 	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad || bias.requiresGrad)
 	a.Data.AddRowBroadcastInto(bias.Data, out.Data)
-	out.back = func() {
-		a.accum(out.Grad)
-		if bias.requiresGrad {
-			tmp := t.alloc(1, out.Data.Cols)
-			out.Grad.SumColsInto(tmp)
-			bias.accum(tmp)
-			t.release(tmp)
-		}
-	}
+	out.op, out.srcA, out.srcB = opAddRow, a, bias
 	return out
 }
 
@@ -129,7 +101,7 @@ func Scale(a *Value, s float64) *Value {
 	t := a.tape
 	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
 	a.Data.ScaleInto(s, out.Data)
-	out.back = func() { a.accumScaled(out.Grad, s) }
+	out.op, out.srcA, out.auxS0 = opScale, a, s
 	return out
 }
 
@@ -150,14 +122,7 @@ func Tanh(a *Value) *Value {
 	t := a.tape
 	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
 	a.Data.ApplyInto(math.Tanh, out.Data)
-	out.back = func() {
-		// d tanh = 1 - tanh²
-		tmp := t.alloc(out.Data.Rows, out.Data.Cols)
-		out.Data.ApplyInto(func(y float64) float64 { return 1 - y*y }, tmp)
-		out.Grad.MulElemInto(tmp, tmp)
-		a.accum(tmp)
-		t.release(tmp)
-	}
+	out.op, out.srcA = opTanh, a
 	return out
 }
 
@@ -235,12 +200,7 @@ func Square(a *Value) *Value {
 	t := a.tape
 	out := t.opNode(a.Data.Rows, a.Data.Cols, a.requiresGrad)
 	a.Data.ApplyInto(func(x float64) float64 { return x * x }, out.Data)
-	out.back = func() {
-		tmp := t.alloc(out.Data.Rows, out.Data.Cols)
-		out.Grad.MulElemInto(a.Data, tmp)
-		a.accumScaled(tmp, 2)
-		t.release(tmp)
-	}
+	out.op, out.srcA = opSquare, a
 	return out
 }
 
@@ -267,12 +227,7 @@ func Mean(a *Value) *Value {
 	t := a.tape
 	out := t.opNode(1, 1, a.requiresGrad)
 	out.Data.Data[0] = a.Data.Mean()
-	out.back = func() {
-		tmp := t.alloc(a.Data.Rows, a.Data.Cols)
-		tmp.Fill(out.Grad.Data[0] / float64(n))
-		a.accum(tmp)
-		t.release(tmp)
-	}
+	out.op, out.srcA = opMean, a
 	return out
 }
 
@@ -298,21 +253,7 @@ func Minimum(a, b *Value) *Value {
 			data.Data[i] = b.Data.Data[i]
 		}
 	}
-	out.back = func() {
-		da := t.alloc(data.Rows, data.Cols)
-		db := t.alloc(data.Rows, data.Cols)
-		for i, fa := range fromA.Data {
-			if fa == 1 {
-				da.Data[i] = out.Grad.Data[i]
-			} else {
-				db.Data[i] = out.Grad.Data[i]
-			}
-		}
-		a.accum(da)
-		b.accum(db)
-		t.release(da)
-		t.release(db)
-	}
+	out.op, out.srcA, out.srcB, out.aux0 = opMinimum, a, b, fromA
 	return out
 }
 
@@ -335,16 +276,7 @@ func Clamp(a *Value, lo, hi float64) *Value {
 			inside.Data[i] = 1
 		}
 	}
-	out.back = func() {
-		tmp := t.alloc(data.Rows, data.Cols)
-		for i, in := range inside.Data {
-			if in == 1 {
-				tmp.Data[i] = out.Grad.Data[i]
-			}
-		}
-		a.accum(tmp)
-		t.release(tmp)
-	}
+	out.op, out.srcA, out.aux0 = opClamp, a, inside
 	return out
 }
 

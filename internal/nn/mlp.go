@@ -79,6 +79,11 @@ type MLP struct {
 	Layers []*Linear
 	Act    Activation
 	sizes  []int
+	// params caches the flattened Params() result: the optimizer helpers
+	// (ZeroGrads, ClipGradNorm, Proximal.Apply) call it on every minibatch,
+	// and rebuilding the slice each time shows up in the update hot loop.
+	// Layers must not change after construction.
+	params []*Parameter
 }
 
 // NewMLP builds an MLP with the given layer sizes, e.g. sizes=[538,64,9]
@@ -177,11 +182,12 @@ func (m *MLP) Predict(x *tensor.Matrix) *tensor.Matrix {
 
 // Params returns all layer parameters in order.
 func (m *MLP) Params() []*Parameter {
-	var ps []*Parameter
-	for _, l := range m.Layers {
-		ps = append(ps, l.Params()...)
+	if m.params == nil {
+		for _, l := range m.Layers {
+			m.params = append(m.params, l.Params()...)
+		}
 	}
-	return ps
+	return m.params
 }
 
 // Sizes returns a copy of the layer size list.

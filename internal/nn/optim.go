@@ -8,9 +8,12 @@ import (
 
 // Optimizer advances model parameters using their accumulated gradients.
 type Optimizer interface {
-	// Step applies one update from the current gradients.
+	// Step applies one update from the current gradients, consuming them:
+	// all gradients are zero after Step, so the next backward pass can
+	// accumulate without a separate ZeroGrad sweep.
 	Step()
-	// ZeroGrad clears all gradients.
+	// ZeroGrad clears all gradients (for discarding a backward pass without
+	// applying it; Step already leaves gradients clear).
 	ZeroGrad()
 }
 
@@ -32,7 +35,7 @@ func NewSGD(m Module, lr, momentum float64) *SGD {
 	return &SGD{params: ps, LR: lr, Momentum: momentum, velocity: vel}
 }
 
-// Step applies one SGD update.
+// Step applies one SGD update and clears the consumed gradients.
 func (o *SGD) Step() {
 	for i, p := range o.params {
 		v := o.velocity[i]
@@ -42,6 +45,7 @@ func (o *SGD) Step() {
 		} else {
 			p.Data.AddScaledInPlace(p.Grad, -o.LR)
 		}
+		p.ZeroGrad()
 	}
 }
 
@@ -80,20 +84,17 @@ func NewAdam(mod Module, lr float64) *Adam {
 	return a
 }
 
-// Step applies one Adam update from current gradients.
+// Step applies one Adam update from current gradients and clears them in
+// the same pass (tensor.AdamUpdate consumes the gradient, saving the
+// per-minibatch ZeroGrads sweep). The element-wise rule lives in
+// tensor.AdamUpdate so it can use the SIMD fast path; the update is bitwise
+// identical to the historical per-element loop here.
 func (a *Adam) Step() {
 	a.step++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
 	for i, p := range a.params {
-		m, v := a.m[i], a.v[i]
-		for j, g := range p.Grad.Data {
-			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
-			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
-			mhat := m.Data[j] / bc1
-			vhat := v.Data[j] / bc2
-			p.Data.Data[j] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
-		}
+		tensor.AdamUpdate(p.Data.Data, p.Grad.Data, a.m[i].Data, a.v[i].Data, a.LR, a.Beta1, a.Beta2, a.Eps, bc1, bc2)
 	}
 }
 

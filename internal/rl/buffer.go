@@ -102,9 +102,17 @@ func (b *Buffer) Returns(gamma float64) []float64 {
 // accumulator still resets at every Done boundary — truncation ends the
 // trajectory for estimation purposes; it just doesn't zero the tail.
 func (b *Buffer) GAE(gamma, lambda float64) (adv, targets []float64) {
+	return b.GAEInto(gamma, lambda, nil, nil)
+}
+
+// GAEInto is GAE writing into caller-provided slices, which are grown as
+// needed and returned resliced to the buffer length — the allocation-free
+// variant the update pipeline calls with agent-owned scratch. Passing nil
+// slices makes it equivalent to GAE.
+func (b *Buffer) GAEInto(gamma, lambda float64, advIn, targetsIn []float64) (adv, targets []float64) {
 	n := len(b.steps)
-	adv = make([]float64, n)
-	targets = make([]float64, n)
+	adv = growFloats(advIn, n)
+	targets = growFloats(targetsIn, n)
 	gae := 0.0
 	for i := n - 1; i >= 0; i-- {
 		s := b.steps[i]
@@ -128,6 +136,15 @@ func (b *Buffer) GAE(gamma, lambda float64) (adv, targets []float64) {
 		targets[i] = gae + s.Value
 	}
 	return adv, targets
+}
+
+// growFloats reslices s to length n, reallocating only when capacity is
+// short. Contents are fully overwritten by the callers.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // NormalizeInPlace standardizes v to zero mean and unit variance (no-op for

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/autograd"
 	"repro/internal/nn"
-	"repro/internal/tensor"
 )
 
 // DualCriticPPO is the client-side algorithm of PFRL-DM (§4.3). It keeps
@@ -40,7 +39,7 @@ type DualCriticPPO struct {
 	publicOpt *nn.Adam
 	rng       *rand.Rand
 	inf       inferScratch
-	tape      *autograd.Tape // pooled update tape, reused across Update calls
+	upd       updateScratch // batched update pipeline staging (see update.go)
 
 	// Loss probes recorded by the most recent RefreshAlpha call.
 	LastLocalLoss  float64
@@ -135,18 +134,16 @@ func (d *DualCriticPPO) RefreshAlpha(buf *Buffer) {
 // low α weight and degrade the uploads other clients aggregate).
 // Afterwards α is refreshed on the same buffer.
 func (d *DualCriticPPO) Update(buf *Buffer) UpdateStats {
-	adv, targets := buf.GAE(d.Cfg.Gamma, d.Cfg.Lambda)
-	NormalizeInPlace(adv)
-	if d.tape == nil {
-		d.tape = autograd.NewPooledTape(tensor.DefaultPool())
-	}
+	st := &d.upd
+	st.adv, st.targets = buf.GAEInto(d.Cfg.Gamma, d.Cfg.Lambda, st.adv, st.targets)
+	NormalizeInPlace(st.adv)
 	stats := ppoUpdate(ppoUpdateSpec{
 		cfg:      d.Cfg,
 		rng:      d.rng,
-		tape:     d.tape,
+		scratch:  st,
 		buf:      buf,
-		adv:      adv,
-		targets:  targets,
+		adv:      st.adv,
+		targets:  st.targets,
 		actor:    d.Actor,
 		actorOpt: d.actorOpt,
 		criticLoss: func(tape *autograd.Tape, states, targets, oldValues *autograd.Value) *autograd.Value {

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/autograd"
 	"repro/internal/nn"
-	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -101,7 +100,7 @@ type PPO struct {
 	rng       *rand.Rand
 	prox      Proximal
 	inf       inferScratch
-	tape      *autograd.Tape // pooled update tape, reused across Update calls
+	upd       updateScratch // batched update pipeline staging (see update.go)
 }
 
 // NewPPO builds an agent with freshly initialized networks.
@@ -146,20 +145,20 @@ func (p *PPO) Value(state []float64) float64 {
 	return p.Critic.Infer(p.inf.valueBuf(), p.inf.setState(state)).Data[0]
 }
 
-// Update runs the clipped PPO update (Eqs. 10–12) over the buffer.
+// Update runs the clipped PPO update (Eqs. 10–12) over the buffer on the
+// batched pipeline: GAE into agent-owned scratch, then the fused-surrogate
+// minibatch loop of ppoUpdate.
 func (p *PPO) Update(buf *Buffer) UpdateStats {
-	adv, targets := buf.GAE(p.Cfg.Gamma, p.Cfg.Lambda)
-	NormalizeInPlace(adv)
-	if p.tape == nil {
-		p.tape = autograd.NewPooledTape(tensor.DefaultPool())
-	}
+	st := &p.upd
+	st.adv, st.targets = buf.GAEInto(p.Cfg.Gamma, p.Cfg.Lambda, st.adv, st.targets)
+	NormalizeInPlace(st.adv)
 	return ppoUpdate(ppoUpdateSpec{
 		cfg:      p.Cfg,
 		rng:      p.rng,
-		tape:     p.tape,
+		scratch:  st,
 		buf:      buf,
-		adv:      adv,
-		targets:  targets,
+		adv:      st.adv,
+		targets:  st.targets,
 		actor:    p.Actor,
 		actorOpt: p.actorOpt,
 		criticLoss: func(tape *autograd.Tape, states, targets, oldValues *autograd.Value) *autograd.Value {
@@ -170,176 +169,6 @@ func (p *PPO) Update(buf *Buffer) UpdateStats {
 		},
 		prox: &p.prox,
 	})
-}
-
-// criticModule pairs a critic network with its optimizer for the shared
-// update loop.
-type criticModule struct {
-	net *nn.MLP
-	opt *nn.Adam
-}
-
-// ppoUpdateSpec feeds the shared minibatch update loop used by both PPO and
-// DualCriticPPO. criticLoss produces the scalar loss to minimize for the
-// critic networks (a single MSE for PPO; the sum of the two independent
-// regressions of Eqs. 16–17 for the dual critic); every module in
-// criticModules is stepped.
-type ppoUpdateSpec struct {
-	cfg Config
-	rng *rand.Rand
-	// tape, when non-nil, is a caller-owned pooled tape reused across Update
-	// calls so node structs amortize to zero; nil gets a fresh pooled tape.
-	tape    *autograd.Tape
-	buf     *Buffer
-	adv     []float64
-	targets []float64
-
-	actor    *nn.MLP
-	actorOpt *nn.Adam
-
-	// criticLoss builds the scalar critic loss; oldValues holds the
-	// collection-time value estimates (for PPO2-style value clipping).
-	criticLoss    func(tape *autograd.Tape, states, targets, oldValues *autograd.Value) *autograd.Value
-	criticModules []criticModule
-
-	// prox, when non-nil, applies FedProx regularization to every stepped
-	// module (see Proximal).
-	prox *Proximal
-}
-
-// mPPOUpdates counts completed gradient updates across all agents.
-var mPPOUpdates = obs.DefaultRegistry().Counter("pfrl_ppo_updates_total",
-	"PPO gradient updates completed (all agents)")
-
-func ppoUpdate(s ppoUpdateSpec) UpdateStats {
-	steps := s.buf.Steps()
-	n := len(steps)
-	if n == 0 {
-		return UpdateStats{}
-	}
-	defer mPPOUpdates.Inc()
-	stateDim := s.cfg.StateDim
-	var stats UpdateStats
-
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	// One pooled tape serves every actor and critic step: Reset recycles its
-	// node structs and intermediate matrices instead of leaving a fresh graph
-	// per minibatch for the GC. Staging matrices come from the shared tensor
-	// pool and return to it at the end of each batch; the actions slice is
-	// reused outright. Results are bitwise identical to the fresh-tape path
-	// (see autograd's TestPooledTapeResetMatchesFreshTapes).
-	tape := s.tape
-	if tape == nil {
-		tape = autograd.NewPooledTape(tensor.DefaultPool())
-	}
-	defer tape.Reset() // drain tape-owned matrices back to the pool
-	actions := make([]int, s.cfg.MiniBatch)
-	for epoch := 0; epoch < s.cfg.UpdateEpochs; epoch++ {
-		s.rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		epochActor, epochCritic, epochEntropy := 0.0, 0.0, 0.0
-		epochKL, epochClip := 0.0, 0.0
-		batches := 0
-		for lo := 0; lo < n; lo += s.cfg.MiniBatch {
-			hi := lo + s.cfg.MiniBatch
-			if hi > n {
-				hi = n
-			}
-			bsz := hi - lo
-			states := tensor.Get(bsz, stateDim)
-			actions := actions[:bsz]
-			oldLogp := tensor.Get(bsz, 1)
-			advantage := tensor.Get(bsz, 1)
-			target := tensor.Get(bsz, 1)
-			oldValue := tensor.Get(bsz, 1)
-			for bi := 0; bi < bsz; bi++ {
-				t := idx[lo+bi]
-				copy(states.Row(bi), steps[t].State)
-				actions[bi] = steps[t].Action
-				oldLogp.Data[bi] = steps[t].LogProb
-				advantage.Data[bi] = s.adv[t]
-				target.Data[bi] = s.targets[t]
-				oldValue.Data[bi] = steps[t].Value
-			}
-
-			// --- Actor step: L = -E[min(r·A, clip(r)·A)] - c·H(π) ---
-			nn.ZeroGrads(s.actor)
-			tape.Reset()
-			sIn := tape.Const(states)
-			logits := s.actor.Forward(tape, sIn)
-			logp := autograd.LogSoftmaxRows(logits)
-			actLogp := autograd.PickCols(logp, actions)
-			ratio := autograd.Exp(autograd.Sub(actLogp, tape.Const(oldLogp)))
-			advC := tape.Const(advantage)
-			surr1 := autograd.Mul(ratio, advC)
-			surr2 := autograd.Mul(autograd.Clamp(ratio, 1-s.cfg.Clip, 1+s.cfg.Clip), advC)
-			objective := autograd.Mean(autograd.Minimum(surr1, surr2))
-			probs := autograd.SoftmaxRows(logits)
-			entropy := autograd.Neg(autograd.Mean(autograd.SumRows(autograd.Mul(probs, logp))))
-			// Mean over SumRows divides by bsz (matrix is Nx1), so entropy is
-			// the batch-mean policy entropy.
-			loss := autograd.Sub(autograd.Neg(objective), autograd.Scale(entropy, s.cfg.EntCoef))
-			loss.Backward()
-			if s.prox != nil {
-				s.prox.Apply(s.actor)
-			}
-			nn.ClipGradNorm(s.actor, s.cfg.MaxGradNorm)
-			s.actorOpt.Step()
-			epochActor += -objective.Item()
-			epochEntropy += entropy.Item()
-			// Approximate KL(π_old ‖ π_new) = E[log π_old − log π_new], and
-			// the clip fraction: how often the surrogate actually clipped.
-			klBatch, clipped := 0.0, 0
-			for bi := 0; bi < bsz; bi++ {
-				klBatch += oldLogp.Data[bi] - actLogp.Data.Data[bi]
-				if r := ratio.Data.Data[bi]; r < 1-s.cfg.Clip || r > 1+s.cfg.Clip {
-					clipped++
-				}
-			}
-			epochKL += klBatch / float64(bsz)
-			epochClip += float64(clipped) / float64(bsz)
-
-			// --- Critic step(s) ---
-			for _, cm := range s.criticModules {
-				nn.ZeroGrads(cm.net)
-			}
-			tape.Reset()
-			closs := s.criticLoss(tape, tape.Const(states), tape.Const(target), tape.Const(oldValue))
-			closs.Backward()
-			for _, cm := range s.criticModules {
-				if s.prox != nil {
-					s.prox.Apply(cm.net)
-				}
-				nn.ClipGradNorm(cm.net, s.cfg.MaxGradNorm)
-				cm.opt.Step()
-			}
-			epochCritic += closs.Item()
-			// All stats for this batch are read; the staging matrices may
-			// return to the pool (the stale Const references die at the next
-			// Reset without being read again).
-			tensor.Put(states)
-			tensor.Put(oldLogp)
-			tensor.Put(advantage)
-			tensor.Put(target)
-			tensor.Put(oldValue)
-			batches++
-		}
-		if batches > 0 {
-			stats = UpdateStats{
-				ActorLoss:  epochActor / float64(batches),
-				CriticLoss: epochCritic / float64(batches),
-				Entropy:    epochEntropy / float64(batches),
-				ApproxKL:   epochKL / float64(batches),
-				ClipFrac:   epochClip / float64(batches),
-			}
-		}
-		if s.cfg.TargetKL > 0 && batches > 0 && stats.ApproxKL > s.cfg.TargetKL {
-			break // the policy moved far enough; further epochs overfit the batch
-		}
-	}
-	return stats
 }
 
 // valueLoss builds the critic regression loss: plain MSE, or the PPO2

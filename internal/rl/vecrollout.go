@@ -1,0 +1,200 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// VecPolicy is the batched, read-only slice of an agent the vectorized
+// collector needs: one actor forward and one value estimate over a whole
+// batch of states at once. Both PPO and DualCriticPPO implement it on the
+// gradient-free inference path, and because every tensor kernel in this repo
+// is row-independent, row i of a batched pass is bitwise identical to running
+// the same state through the single-row path — which is what makes
+// VecCollector's output indistinguishable from sequential collection.
+type VecPolicy interface {
+	// VecLogits writes the actor logits for every row of states into dst
+	// (states.Rows x NumActions).
+	VecLogits(dst, states *tensor.Matrix)
+	// VecValues writes the value estimate for every row of states into dst
+	// (states.Rows x 1) — the critic output, blended for dual-critic agents.
+	VecValues(dst, states *tensor.Matrix)
+}
+
+// VecLogits implements VecPolicy.
+func (p *PPO) VecLogits(dst, states *tensor.Matrix) { p.Actor.Infer(dst, states) }
+
+// VecValues implements VecPolicy.
+func (p *PPO) VecValues(dst, states *tensor.Matrix) { p.Critic.Infer(dst, states) }
+
+// VecLogits implements VecPolicy.
+func (d *DualCriticPPO) VecLogits(dst, states *tensor.Matrix) { d.Actor.Infer(dst, states) }
+
+// VecValues implements VecPolicy: the Eq. (14) blend α·V_φ + (1−α)·V_ψ,
+// row-wise, with exactly the float op order of DualCriticPPO.Value.
+func (d *DualCriticPPO) VecValues(dst, states *tensor.Matrix) {
+	pool := tensor.DefaultPool()
+	tmp := pool.GetUninit(states.Rows, 1) // fully overwritten by Infer
+	d.LocalCritic.Infer(dst, states)
+	d.PublicCritic.Infer(tmp, states)
+	for i := range dst.Data {
+		dst.Data[i] = d.Alpha*dst.Data[i] + (1-d.Alpha)*tmp.Data[i]
+	}
+	pool.Put(tmp)
+}
+
+// VecCollector steps N environments in lockstep under one shared policy,
+// replacing N single-row actor/critic inferences per step with one batched
+// pass each. Environments finish at different times; finished slots drop out
+// of the staging batch (rows are compacted in slot order), so the batch
+// shrinks as episodes complete.
+//
+// Each slot owns its RNG and its buffer, and actions for slot i are sampled
+// from logits row i in ascending slot order, so the per-slot action, reward,
+// and transition streams are bitwise identical to running CollectEpisode
+// independently per slot with an agent seeded from that slot's RNG (pinned by
+// TestVecCollectorMatchesSequential). A VecCollector is single-goroutine,
+// like the agents it wraps.
+type VecCollector struct {
+	policy     VecPolicy
+	envs       []Environment
+	rngs       []*rand.Rand
+	stateDim   int
+	numActions int
+
+	dist      nn.Categorical
+	stateBufs [][]float64 // per-slot Observe scratch
+	active    []int       // slots still running, ascending
+}
+
+// NewVecCollector builds a collector over envs, one RNG per slot. All
+// environments must agree on StateDim and NumActions (they share one policy).
+func NewVecCollector(policy VecPolicy, envs []Environment, rngs []*rand.Rand) *VecCollector {
+	if len(envs) == 0 {
+		panic("rl: NewVecCollector needs at least one environment")
+	}
+	if len(rngs) != len(envs) {
+		panic(fmt.Sprintf("rl: NewVecCollector got %d rngs for %d environments", len(rngs), len(envs)))
+	}
+	sd, na := envs[0].StateDim(), envs[0].NumActions()
+	for _, e := range envs[1:] {
+		if e.StateDim() != sd || e.NumActions() != na {
+			panic("rl: NewVecCollector environments disagree on state/action dimensions")
+		}
+	}
+	return &VecCollector{
+		policy:     policy,
+		envs:       envs,
+		rngs:       rngs,
+		stateDim:   sd,
+		numActions: na,
+		stateBufs:  make([][]float64, len(envs)),
+		active:     make([]int, 0, len(envs)),
+	}
+}
+
+// N returns the number of environment slots.
+func (c *VecCollector) N() int { return len(c.envs) }
+
+// Collect runs every environment's current episode to completion, appending
+// slot i's transitions to bufs[i], and writes each slot's total reward into
+// totals (reallocating when too small). The caller resets the environments
+// beforehand, exactly as with CollectEpisode; horizon cuts bootstrap through
+// the policy's value estimate the same way (see Truncator).
+func (c *VecCollector) Collect(bufs []*Buffer, totals []float64) []float64 {
+	n := len(c.envs)
+	if len(bufs) != n {
+		panic(fmt.Sprintf("rl: VecCollector.Collect got %d buffers for %d environments", len(bufs), n))
+	}
+	totals = growFloats(totals, n)
+	for i := range totals {
+		totals[i] = 0
+	}
+
+	// Staging matrices hold one row per still-active slot; every row is
+	// rewritten before each batched pass, so uninitialized pool buffers are
+	// safe. The active set only shrinks, so the row views only shrink too.
+	pool := tensor.DefaultPool()
+	states := pool.GetUninit(n, c.stateDim)
+	logits := pool.GetUninit(n, c.numActions)
+	values := pool.GetUninit(n, 1)
+
+	active := c.active[:0]
+	for slot, env := range c.envs {
+		if !env.Done() {
+			c.stateBufs[slot] = env.Observe(c.stateBufs[slot])
+			active = append(active, slot)
+		}
+	}
+
+	steps := uint64(0)
+	for len(active) > 0 {
+		m := len(active)
+		sv := viewRows(states, m)
+		lv := viewRows(logits, m)
+		vv := viewRows(values, m)
+		for i, slot := range active {
+			copy(sv.Row(i), c.stateBufs[slot])
+		}
+		c.policy.VecLogits(lv, sv)
+		c.policy.VecValues(vv, sv)
+
+		next := active[:0]
+		for i, slot := range active {
+			env := c.envs[slot]
+			c.dist.SetLogits(lv.Row(i), nil)
+			action := c.dist.Sample(c.rngs[slot])
+			logp := c.dist.LogProb(action)
+			value := vv.Data[i]
+			reward := env.Step(action)
+			totals[slot] += reward
+			steps++
+			done := env.Done()
+			tr := Transition{
+				State:   append([]float64(nil), c.stateBufs[slot]...),
+				Action:  action,
+				Reward:  reward,
+				LogProb: logp,
+				Value:   value,
+				Done:    done,
+			}
+			if !done {
+				c.stateBufs[slot] = env.Observe(c.stateBufs[slot])
+				next = append(next, slot)
+			} else if t, ok := env.(Truncator); ok && t.Truncated() {
+				// tr.State is already a private copy, so reusing the slot's
+				// scratch for the post-cut observation is safe.
+				c.stateBufs[slot] = env.Observe(c.stateBufs[slot])
+				tr.Truncated = true
+				tr.Bootstrap = c.bootstrapValue(c.stateBufs[slot])
+				mTruncations.Inc()
+			}
+			bufs[slot].Add(tr)
+		}
+		active = next
+	}
+	mEnvSteps.Add(steps)
+
+	pool.Put(states)
+	pool.Put(logits)
+	pool.Put(values)
+	return totals
+}
+
+// bootstrapValue evaluates V(state) for a single post-truncation state — the
+// same single-row inference Agent.Value runs, so the bootstrap matches
+// sequential collection bitwise.
+func (c *VecCollector) bootstrapValue(state []float64) float64 {
+	pool := tensor.DefaultPool()
+	s := pool.GetUninit(1, c.stateDim)
+	copy(s.Data, state)
+	v := pool.GetUninit(1, 1)
+	c.policy.VecValues(v, s)
+	out := v.Data[0]
+	pool.Put(s)
+	pool.Put(v)
+	return out
+}

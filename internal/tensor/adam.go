@@ -1,0 +1,62 @@
+package tensor
+
+import (
+	"math"
+	"unsafe"
+)
+
+// AdamUpdate applies one element-wise Adam step over flat parameter storage:
+//
+//	m = beta1*m + (1-beta1)*g
+//	v = beta2*v + (1-beta2)*g*g
+//	p -= lr * (m/bc1) / (sqrt(v/bc2) + eps)
+//
+// bc1 and bc2 are the bias-correction terms 1-beta^t, computed once per step
+// by the caller. All four slices must have the same length.
+//
+// The gradient g is consumed and cleared: every element is zero on return,
+// folded into the same pass over the data so the caller skips a separate
+// zeroing sweep before the next backward accumulation. The AVX-512 fast
+// path transcribes the scalar loop's exact float op order using only
+// correctly-rounded instructions, so results are bitwise identical either
+// way (pinned by TestAdamUpdateSIMDMatchesScalar).
+func AdamUpdate(p, g, m, v []float64, lr, beta1, beta2, eps, bc1, bc2 float64) {
+	n := len(p)
+	if len(g) != n || len(m) != n || len(v) != n {
+		panic("tensor: AdamUpdate slice length mismatch")
+	}
+	i := 0
+	if simdEnabled {
+		if n8 := n &^ 7; n8 > 0 {
+			adamCols(&p[0], &g[0], &m[0], &v[0], n8, beta1, 1-beta1, beta2, 1-beta2, bc1, bc2, lr, eps)
+			i = n8
+		}
+	}
+	adamScalar(p[i:], g[i:], m[i:], v[i:], lr, beta1, beta2, eps, bc1, bc2)
+}
+
+// adamScalar is the portable reference Adam kernel; the assembly fast path
+// must match it bitwise. Like the fast path, it clears g as it goes.
+func adamScalar(p, g, m, v []float64, lr, beta1, beta2, eps, bc1, bc2 float64) {
+	c1, c2 := 1-beta1, 1-beta2
+	for j, gv := range g {
+		m[j] = beta1*m[j] + c1*gv
+		v[j] = beta2*v[j] + c2*gv*gv
+		g[j] = 0
+		mhat := m[j] / bc1
+		vhat := v[j] / bc2
+		p[j] -= lr * mhat / (math.Sqrt(vhat) + eps)
+	}
+}
+
+// unsafeSlice reconstructs a []float64 of length n from a base pointer; used
+// only by the pure-Go SIMD stand-ins, which receive pointer+stride arguments
+// shaped for the assembly kernels.
+func unsafeSlice(p *float64, n int) []float64 {
+	return unsafe.Slice(p, n)
+}
+
+// offsetPtr returns p advanced by n elements.
+func offsetPtr(p *float64, n int) *float64 {
+	return (*float64)(unsafe.Add(unsafe.Pointer(p), uintptr(n)*unsafe.Sizeof(float64(0))))
+}

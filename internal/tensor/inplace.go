@@ -57,6 +57,27 @@ func (m *Matrix) MulElemInto(b, dst *Matrix) *Matrix {
 	return dst
 }
 
+// AddTanhGradInPlace accumulates m += grad ∘ (1 − y∘y) and returns m — the
+// fused tanh backward. Per element the float op order is mul(y,y), sub(1,·),
+// mul(grad,·), add: exactly the ApplyInto + MulElemInto + AddInPlace sequence
+// it replaces, so the fusion is bitwise invisible.
+func (m *Matrix) AddTanhGradInPlace(grad, y *Matrix) *Matrix {
+	m.assertSameShape(grad, "AddTanhGradInPlace")
+	m.assertSameShape(y, "AddTanhGradInPlace")
+	i := 0
+	if simdEnabled {
+		if n8 := len(m.Data) &^ 7; n8 > 0 {
+			tanhGradCols(&m.Data[0], &grad.Data[0], &y.Data[0], n8)
+			i = n8
+		}
+	}
+	for ; i < len(m.Data); i++ {
+		t := 1 - y.Data[i]*y.Data[i]
+		m.Data[i] += grad.Data[i] * t
+	}
+	return m
+}
+
 // DivElemInto sets dst = m / b elementwise and returns dst.
 func (m *Matrix) DivElemInto(b, dst *Matrix) *Matrix {
 	m.assertSameShape(b, "DivElemInto")

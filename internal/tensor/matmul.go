@@ -4,26 +4,62 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // parallelThreshold is the minimum number of multiply-accumulate operations
-// (rows*cols*inner) above which the matmul kernels fan out across
+// (rows*cols*inner) above which the scalar matmul kernels fan out across
 // goroutines. Below the threshold the goroutine overhead dominates any
 // speedup for the small matrices used by the 64-unit MLPs in this
-// repository.
-const parallelThreshold = 64 * 1024
+// repository. simdParallelThreshold is the same knob for the AVX-512 path,
+// whose per-MAC cost is several times lower, so fanning out pays off only
+// for proportionally larger products.
+const (
+	parallelThreshold     = 64 * 1024
+	simdParallelThreshold = 512 * 1024
+)
+
+// matmulWorkers caps the goroutine fan-out width for the tiled kernels.
+// Zero (the default) means "GOMAXPROCS at call time". Accessed atomically so
+// concurrent matmuls can read it without a lock.
+var matmulWorkers atomic.Int64
+
+// SetMatMulWorkers sets the worker count for the row-tiled matmul fan-out
+// and returns the previous setting. n <= 0 restores the GOMAXPROCS-following
+// default. Tiling splits output rows, and every output element's
+// accumulation stays within one worker, so results are identical for any
+// worker count.
+func SetMatMulWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(matmulWorkers.Swap(int64(n)))
+}
+
+// workerCount returns the effective fan-out width.
+func workerCount() int {
+	if n := int(matmulWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // shouldParallelize reports whether a kernel over the given row count and
 // estimated work (total multiply-accumulates) is worth fanning out. Callers
 // check it before building the parallelRows closure so the serial fast path
 // stays allocation-free (the closure would otherwise escape to the heap on
-// every call).
+// every call) — on a single-worker configuration it is always false for the
+// same reason.
 func shouldParallelize(rows, work int) bool {
-	return work >= parallelThreshold && rows >= 2
+	threshold := parallelThreshold
+	if simdEnabled {
+		threshold = simdParallelThreshold
+	}
+	return work >= threshold && rows >= 2 && workerCount() > 1
 }
 
 // parallelRows runs fn over the row range [0, rows), split into contiguous
-// blocks across GOMAXPROCS goroutines. All matmul variants share this
+// blocks across up to workerCount goroutines. All matmul variants share this
 // fan-out so their parallel behaviour stays identical. Callers have already
 // decided via shouldParallelize that fanning out is worthwhile.
 func parallelRows(rows, work int, fn func(lo, hi int)) {
@@ -31,7 +67,7 @@ func parallelRows(rows, work int, fn func(lo, hi int)) {
 		fn(0, rows)
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := workerCount()
 	if workers > rows {
 		workers = rows
 	}
@@ -80,10 +116,21 @@ func (m *Matrix) MatMulInto(b, dst *Matrix) *Matrix {
 	return dst
 }
 
+// matmulKBlock is the k-panel height of the cache-blocked SIMD kernels: 64
+// rows of b at the repo's typical ≤64 hidden columns is ≤32 KiB, so a panel
+// stays L1-resident while every output row in the range streams over it.
+// Panels are visited in ascending k order, so each output element still
+// accumulates in exactly the order of the unblocked scalar kernel.
+const matmulKBlock = 64
+
 // matmulRange computes rows [lo,hi) of out = m·b using an ikj loop order so
 // the inner loop walks both b and out contiguously.
 func matmulRange(out, m, b *Matrix, lo, hi int) {
 	n, p := m.Cols, b.Cols
+	if simdEnabled && p >= 8 && n > 0 {
+		matmulRangeSIMD(out, m, b, lo, hi)
+		return
+	}
 	for i := lo; i < hi; i++ {
 		mrow := m.Data[i*n : (i+1)*n]
 		orow := out.Data[i*p : (i+1)*p]
@@ -94,6 +141,41 @@ func matmulRange(out, m, b *Matrix, lo, hi int) {
 			brow := b.Data[k*p : (k+1)*p]
 			for j, bv := range brow {
 				orow[j] += mv * bv
+			}
+		}
+	}
+}
+
+// matmulRangeSIMD is the cache-blocked AVX-512 variant of matmulRange. The
+// full-width column groups go through axpyCols (bitwise identical to the
+// scalar inner loop); the p%8 tail columns run the scalar loop. Requires
+// b.Cols >= 8 and m.Cols > 0.
+func matmulRangeSIMD(out, m, b *Matrix, lo, hi int) {
+	n, p := m.Cols, b.Cols
+	p8 := p &^ 7
+	for k0 := 0; k0 < n; k0 += matmulKBlock {
+		kn := n - k0
+		if kn > matmulKBlock {
+			kn = matmulKBlock
+		}
+		bp := &b.Data[k0*p]
+		for i := lo; i < hi; i++ {
+			axpyCols(&out.Data[i*p], bp, &m.Data[i*n+k0], kn, p8, p, 1)
+		}
+	}
+	if p8 == p {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		mrow := m.Data[i*n : (i+1)*n]
+		orow := out.Data[i*p : (i+1)*p]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.Data[k*p : (k+1)*p]
+			for j := p8; j < p; j++ {
+				orow[j] += mv * brow[j]
 			}
 		}
 	}
@@ -177,6 +259,10 @@ func (m *Matrix) MatMulTransAInto(b, dst *Matrix) *Matrix {
 // the historical serial kernel) so accumulation order per output element is
 // identical regardless of how the row range is partitioned.
 func matmulTransARange(out, m, b *Matrix, lo, hi int) {
+	if simdEnabled && b.Cols >= 8 && m.Rows > 0 {
+		matmulTransARangeSIMD(out, m, b, lo, hi)
+		return
+	}
 	for k := 0; k < m.Rows; k++ {
 		mrow := m.Data[k*m.Cols : (k+1)*m.Cols]
 		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
@@ -188,6 +274,43 @@ func matmulTransARange(out, m, b *Matrix, lo, hi int) {
 			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
 			for j, bv := range brow {
 				orow[j] += mv * bv
+			}
+		}
+	}
+}
+
+// matmulTransARangeSIMD is the cache-blocked AVX-512 variant of
+// matmulTransARange. Each output row i reads column i of m with stride
+// m.Cols (a strided scalar stream the out-of-order core hides well);
+// accumulation per element runs over ascending k exactly like the scalar
+// k-outermost kernel. Requires b.Cols >= 8 and m.Rows > 0.
+func matmulTransARangeSIMD(out, m, b *Matrix, lo, hi int) {
+	p := b.Cols
+	p8 := p &^ 7
+	for k0 := 0; k0 < m.Rows; k0 += matmulKBlock {
+		kn := m.Rows - k0
+		if kn > matmulKBlock {
+			kn = matmulKBlock
+		}
+		bp := &b.Data[k0*p]
+		for i := lo; i < hi; i++ {
+			axpyCols(&out.Data[i*p], bp, &m.Data[k0*m.Cols+i], kn, p8, p, m.Cols)
+		}
+	}
+	if p8 == p {
+		return
+	}
+	for k := 0; k < m.Rows; k++ {
+		mrow := m.Data[k*m.Cols : (k+1)*m.Cols]
+		brow := b.Data[k*p : (k+1)*p]
+		for i := lo; i < hi; i++ {
+			mv := mrow[i]
+			if mv == 0 {
+				continue
+			}
+			orow := out.Data[i*p : (i+1)*p]
+			for j := p8; j < p; j++ {
+				orow[j] += mv * brow[j]
 			}
 		}
 	}

@@ -61,17 +61,34 @@ func bucketFor(n int) int {
 // Get returns a zeroed rows x cols matrix, recycling a free buffer of a
 // sufficient size class when one is available.
 func (p *Pool) Get(rows, cols int) *Matrix {
+	m, recycled := p.get(rows, cols)
+	if recycled {
+		m.Zero() // recycled buffers must never leak stale values
+	}
+	return m
+}
+
+// GetUninit returns a rows x cols matrix whose contents are unspecified: a
+// recycled buffer keeps whatever values its previous owner left behind. Only
+// callers that overwrite every element before reading any (e.g. the
+// transpose scratch in MatMulTransAInto) may use it; everything else goes
+// through Get, which zeroes defensively.
+func (p *Pool) GetUninit(rows, cols int) *Matrix {
+	m, _ := p.get(rows, cols)
+	return m
+}
+
+func (p *Pool) get(rows, cols int) (m *Matrix, recycled bool) {
 	if rows < 0 || cols < 0 {
-		return New(rows, cols) // defer to New's shape panic
+		return New(rows, cols), false // defer to New's shape panic
 	}
 	need := rows * cols
 	b := bucketFor(need)
 	if b >= poolBuckets {
-		return New(rows, cols)
+		return New(rows, cols), false
 	}
 	p.mu.Lock()
 	p.gets++
-	var m *Matrix
 	if n := len(p.free[b]); n > 0 {
 		m = p.free[b][n-1]
 		p.free[b][n-1] = nil
@@ -80,12 +97,11 @@ func (p *Pool) Get(rows, cols int) *Matrix {
 	}
 	p.mu.Unlock()
 	if m == nil {
-		return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, need, 1<<b)}
+		return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, need, 1<<b)}, false
 	}
 	m.Rows, m.Cols = rows, cols
 	m.Data = m.Data[:need]
-	m.Zero() // recycled buffers must never leak stale values
-	return m
+	return m, true
 }
 
 // Put releases m's backing storage for reuse. Nil matrices and matrices too

@@ -1,0 +1,49 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds have no SIMD fast path; the portable scalar kernels are
+// always used. These stubs keep the call sites compiling and, as a safety
+// net, implement the same semantics in pure Go.
+
+var simdEnabled = false
+
+func setSIMD(bool) bool { return false }
+
+// SIMDEnabled reports whether the AVX-512 fast paths are active.
+func SIMDEnabled() bool { return false }
+
+func x86HasAVX512() bool { return false }
+
+func axpyCols(dst, b, s *float64, k, cols, bStride, sStride int) {
+	dstS := unsafeSlice(dst, cols)
+	for t := 0; t < k; t++ {
+		sv := *offsetPtr(s, t*sStride)
+		if sv == 0 {
+			continue
+		}
+		bRow := unsafeSlice(offsetPtr(b, t*bStride), cols)
+		for j := range dstS {
+			dstS[j] += sv * bRow[j]
+		}
+	}
+}
+
+func vecAdd(dst, src *float64, n int) {
+	d, sl := unsafeSlice(dst, n), unsafeSlice(src, n)
+	for i := range d {
+		d[i] += sl[i]
+	}
+}
+
+func tanhGradCols(dst, grad, y *float64, n int) {
+	d, g, ys := unsafeSlice(dst, n), unsafeSlice(grad, n), unsafeSlice(y, n)
+	for i := range d {
+		t := 1 - ys[i]*ys[i]
+		d[i] += g[i] * t
+	}
+}
+
+func adamCols(p, grad, m, v *float64, n int, beta1, c1, beta2, c2, bc1, bc2, lr, eps float64) {
+	adamScalar(unsafeSlice(p, n), unsafeSlice(grad, n), unsafeSlice(m, n), unsafeSlice(v, n), lr, beta1, beta2, eps, bc1, bc2)
+}

@@ -161,8 +161,15 @@ func (m *Matrix) Add(b *Matrix) *Matrix {
 // AddInPlace sets m = m + b and returns m.
 func (m *Matrix) AddInPlace(b *Matrix) *Matrix {
 	m.assertSameShape(b, "AddInPlace")
-	for i, v := range b.Data {
-		m.Data[i] += v
+	i := 0
+	if simdEnabled {
+		if n8 := len(m.Data) &^ 7; n8 > 0 {
+			vecAdd(&m.Data[0], &b.Data[0], n8)
+			i = n8
+		}
+	}
+	for ; i < len(m.Data); i++ {
+		m.Data[i] += b.Data[i]
 	}
 	return m
 }
@@ -170,8 +177,19 @@ func (m *Matrix) AddInPlace(b *Matrix) *Matrix {
 // AddScaledInPlace sets m = m + s*b and returns m.
 func (m *Matrix) AddScaledInPlace(b *Matrix, s float64) *Matrix {
 	m.assertSameShape(b, "AddScaledInPlace")
-	for i, v := range b.Data {
-		m.Data[i] += s * v
+	i := 0
+	// The s != 0 guard is for bit-exactness, not speed: axpyCols skips zero
+	// scalars outright, whereas the scalar loop's `x += 0*v` can flip a -0.0
+	// element to +0.0 (signed-zero addition). With s == 0 the scalar loop
+	// runs instead, preserving those semantics.
+	if simdEnabled && s != 0 {
+		if n8 := len(m.Data) &^ 7; n8 > 0 {
+			axpyCols(&m.Data[0], &b.Data[0], &s, 1, n8, 0, 0)
+			i = n8
+		}
+	}
+	for ; i < len(m.Data); i++ {
+		m.Data[i] += s * b.Data[i]
 	}
 	return m
 }

@@ -1,24 +1,45 @@
 #!/bin/sh
-# Runs the zero-allocation benchmarks — the simulator core (BenchmarkEnvStep)
-# and the inference fast path (BenchmarkRolloutStep) — with -benchmem and
-# fails if either reports a nonzero allocs/op. BENCHTIME defaults to a short
-# fixed iteration count so `make ci` stays fast; run with BENCHTIME=2s for a
-# full measurement.
+# Runs the allocation-guarded benchmarks and fails when any regresses past its
+# budget:
+#   - BenchmarkEnvStep / BenchmarkRolloutStep must report 0 allocs/op (the
+#     simulator core and the inference fast path are allocation-free), and
+#   - BenchmarkPPOUpdate must stay within PPO_ALLOC_BUDGET allocs/op (the
+#     batched update pipeline keeps steady-state staging in agent-owned
+#     scratch; the few remaining allocs are per-Update bookkeeping).
+#
+# Usage: bench_alloc_guard.sh [all|env|update]
+#   all    (default) run every guarded benchmark
+#   env    only the zero-alloc env/rollout guards (`make bench-env`)
+#   update only the PPOUpdate budget guard (`make bench-update`)
+#
+# BENCHTIME defaults to a short fixed iteration count so `make ci` stays
+# fast; run with BENCHTIME=2s for a full measurement.
 set -eu
 
+MODE="${1:-all}"
 BENCHTIME="${BENCHTIME:-200x}"
+PPO_BENCHTIME="${PPO_BENCHTIME:-5x}"
+PPO_ALLOC_BUDGET="${PPO_ALLOC_BUDGET:-16}"
 GO="${GO:-go}"
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
-"$GO" test ./internal/cloudsim/ -run '^$' \
-	-bench 'BenchmarkEnvStep|BenchmarkObserve|BenchmarkEpisode' \
-	-benchtime "$BENCHTIME" -benchmem | tee "$out"
-"$GO" test ./internal/rl/ -run '^$' \
-	-bench 'BenchmarkRolloutStep' \
-	-benchtime "$BENCHTIME" -benchmem | tee -a "$out"
+: > "$out"
+if [ "$MODE" = "all" ] || [ "$MODE" = "env" ]; then
+	"$GO" test ./internal/cloudsim/ -run '^$' \
+		-bench 'BenchmarkEnvStep|BenchmarkObserve|BenchmarkEpisode' \
+		-benchtime "$BENCHTIME" -benchmem | tee -a "$out"
+	"$GO" test ./internal/rl/ -run '^$' \
+		-bench 'BenchmarkRolloutStep' \
+		-benchtime "$BENCHTIME" -benchmem | tee -a "$out"
+fi
+if [ "$MODE" = "all" ] || [ "$MODE" = "update" ]; then
+	"$GO" test ./internal/rl/ -run '^$' \
+		-bench 'BenchmarkPPOUpdate' \
+		-benchtime "$PPO_BENCHTIME" -benchmem | tee -a "$out"
+fi
 
-awk '
+awk -v ppo_budget="$PPO_ALLOC_BUDGET" '
 /^Benchmark(EnvStep|RolloutStep)/ {
 	for (i = 2; i <= NF; i++) {
 		if ($i == "allocs/op" && $(i-1) != "0") {
@@ -27,6 +48,18 @@ awk '
 		}
 	}
 }
+/^BenchmarkPPOUpdate/ {
+	for (i = 2; i <= NF; i++) {
+		if ($i == "allocs/op" && $(i-1) + 0 > ppo_budget) {
+			printf "FAIL: %s reports %s allocs/op (budget %d)\n", $1, $(i-1), ppo_budget
+			bad = 1
+		}
+	}
+}
 END { exit bad }
 ' "$out"
-echo "bench-alloc-guard: BenchmarkEnvStep and BenchmarkRolloutStep are allocation-free"
+case "$MODE" in
+all) echo "bench-alloc-guard: EnvStep/RolloutStep allocation-free, PPOUpdate within $PPO_ALLOC_BUDGET allocs/op" ;;
+env) echo "bench-alloc-guard: EnvStep/RolloutStep are allocation-free" ;;
+update) echo "bench-alloc-guard: PPOUpdate within $PPO_ALLOC_BUDGET allocs/op" ;;
+esac
