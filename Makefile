@@ -2,20 +2,23 @@
 #
 #   make ci         - the full pre-merge smoke check: vet, staticcheck (when
 #                     reachable), build, race-enabled tests (incl. the
-#                     federation fault-tolerance suite), one iteration of each
-#                     perf microbenchmark, and a /metrics endpoint smoke test
+#                     federation fault-tolerance suite and the simulator
+#                     invariant harness), one iteration of each perf
+#                     microbenchmark, a 20-VM cluster-scale smoke, and a
+#                     /metrics endpoint smoke test
 #   make test       - plain test suite (tier-1 gate)
-#   make test-race  - the federation layers under the race detector
+#   make test-race  - federation layers + simulator invariants, race-enabled
 #   make fuzz-smoke - a short run of every fuzz target
 #   make bench      - full benchmark runs with allocation reporting
 #   make perf       - the CLI perf experiment, writing BENCH_<name>.json
+#   make scale      - the full 20/500/5000-VM cluster-scale sweep
 
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci vet staticcheck build test race test-race fuzz-smoke bench bench-env bench-update perf metrics-smoke
+.PHONY: ci vet staticcheck build test race test-race fuzz-smoke bench bench-env bench-update perf scale scale-smoke metrics-smoke
 
-ci: vet staticcheck build race test-race bench-smoke bench-env bench-update metrics-smoke
+ci: vet staticcheck build race test-race bench-smoke bench-env bench-update scale-smoke metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,17 +50,20 @@ race:
 # The federation layers carry the concurrency-heavy fault-tolerance tests
 # (round deadlines, retries, rejoin) and the shared round engine behind both
 # paths; internal/rl carries the concurrent actor/critic update pipeline and
-# its batched-vs-sequential golden tests. Run all of them race-enabled on
-# every merge.
+# its batched-vs-sequential golden tests; internal/cloudsim carries the
+# simulator invariant harness (randomized episodes at 20 and 500 VMs). Run
+# all of them race-enabled on every merge.
 test-race:
-	$(GO) test -race ./internal/fedcore/... ./internal/fed/... ./internal/fednet/... ./internal/rl/...
+	$(GO) test -race ./internal/fedcore/... ./internal/fed/... ./internal/fednet/... ./internal/rl/... ./internal/cloudsim/...
 
 # Short deterministic-budget run of every fuzz target (go test allows one
-# -fuzz pattern per invocation, hence three runs).
+# -fuzz pattern per invocation, hence one run per target).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime 10s ./internal/nn
 	$(GO) test -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime 10s ./internal/rl
 	$(GO) test -run '^$$' -fuzz FuzzCSVTrace -fuzztime 10s ./internal/workload
+	$(GO) test -run '^$$' -fuzz FuzzCSVStream -fuzztime 10s ./internal/workload
+	$(GO) test -run '^$$' -fuzz FuzzStreamInject -fuzztime 10s ./internal/cloudsim
 
 # One iteration of each microbenchmark: catches panics/regressions in the
 # bench harness itself without paying for a full measurement run.
@@ -82,3 +88,13 @@ bench:
 
 perf:
 	$(GO) run ./cmd/pfrl-bench -exp perf -benchdir .
+
+# Cluster-scale sweep smoke for ci: the 20-VM configuration only, with the
+# artifact routed to a scratch directory so the committed full-sweep
+# BENCH_ClusterScale.json (20/500/5000 VMs) is not clobbered.
+scale-smoke:
+	$(GO) run ./cmd/pfrl-bench -exp scale -scale-cap 20 -benchdir "$$(mktemp -d)"
+
+# The full 20/500/5000-VM sweep, regenerating BENCH_ClusterScale.json.
+scale:
+	$(GO) run ./cmd/pfrl-bench -exp scale -benchdir .

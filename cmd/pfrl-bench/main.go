@@ -12,7 +12,10 @@
 // Experiments: fig7 fig8 fig9 fig10 fig11 fig15 fig16 table4 fig20 fig21
 // ablation (fig11 also prints figs 12–13; fig16 also prints figs 17–19).
 // The extra "perf" experiment benchmarks the rollout/update hot loops and,
-// with -benchdir, writes machine-readable BENCH_<name>.json artifacts.
+// with -benchdir, writes machine-readable BENCH_<name>.json artifacts; the
+// "scale" experiment (also chained after perf) sweeps the simulator over
+// 20/500/5000-VM clusters with streaming tasks and the fixed-width top-k
+// observation, writing BENCH_ClusterScale.json.
 package main
 
 import (
@@ -37,6 +40,7 @@ type benchConfig struct {
 	episodes int
 	comm     int
 	smooth   int
+	scaleCap int
 	csvDir   string
 	benchDir string
 }
@@ -45,7 +49,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pfrl-bench: ")
 	var (
-		exp      = flag.String("exp", "", "experiment id (fig7 fig8 fig9 fig10 fig11 fig15 fig16 table4 fig20 fig21 ablation perf all)")
+		exp      = flag.String("exp", "", "experiment id (fig7 fig8 fig9 fig10 fig11 fig15 fig16 table4 fig20 fig21 ablation perf scale all)")
 		seed     = flag.Int64("seed", 1, "experiment seed")
 		scale    = flag.Int("scale", 4, "VM capacity divisor (1 = paper scale)")
 		tasks    = flag.Int("tasks", 100, "tasks per client (paper: 3500)")
@@ -54,6 +58,7 @@ func main() {
 		smooth   = flag.Int("smooth", 5, "moving-average window for printed curves")
 		csvDir   = flag.String("csv", "", "also write raw curve series as CSV files into this directory")
 		benchDir = flag.String("benchdir", "", "write perf results as BENCH_<name>.json files into this directory")
+		scaleCap = flag.Int("scale-cap", 0, "skip cluster-scale sweep sizes above this VM count (0 = full sweep; CI smoke uses 20)")
 		events   = flag.String("events", "", "append JSONL training/federation events to this file (empty = disabled)")
 	)
 	flag.Parse()
@@ -74,7 +79,7 @@ func main() {
 			}
 		}()
 	}
-	bc := benchConfig{seed: *seed, scale: *scale, tasks: *tasks, episodes: *episodes, comm: *comm, smooth: *smooth, csvDir: *csvDir, benchDir: *benchDir}
+	bc := benchConfig{seed: *seed, scale: *scale, tasks: *tasks, episodes: *episodes, comm: *comm, smooth: *smooth, scaleCap: *scaleCap, csvDir: *csvDir, benchDir: *benchDir}
 	for _, dir := range []string{bc.csvDir, bc.benchDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -131,6 +136,8 @@ func run(id string, bc benchConfig) error {
 		return runAblation(bc)
 	case "perf":
 		return runPerf(bc)
+	case "scale":
+		return runClusterScale(bc)
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

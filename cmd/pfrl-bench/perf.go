@@ -139,7 +139,11 @@ func runPerf(bc benchConfig) error {
 	if err := runEnvStep(bc); err != nil {
 		return err
 	}
-	return runTrainPhases(bc)
+	if err := runTrainPhases(bc); err != nil {
+		return err
+	}
+	fmt.Println()
+	return runClusterScale(bc)
 }
 
 // batchedRolloutEntry is one row of the BENCH_BatchedRollout.json artifact:

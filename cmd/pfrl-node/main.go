@@ -31,6 +31,18 @@ import (
 	"repro/internal/workload"
 )
 
+// Scalable-environment knobs, shared by every mode's env construction (see
+// federationEnv). They must match across the federation: the policy
+// network's input width and action count derive from them.
+var (
+	topkFlag = flag.Int("topk", 0,
+		"scalable observation: top-k candidate VM slots (0 = per-VM observation)")
+	utilBucketsFlag = flag.Int("util-buckets", 0,
+		"scalable observation: aggregate utilization histogram buckets (requires -topk)")
+	oversubFlag = flag.Float64("oversub", 0,
+		"vCPU/memory oversubscription ratio (0 or 1 = off)")
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pfrl-node: ")
@@ -112,7 +124,11 @@ func main() {
 // this; here both sides derive it from the scaled Table-3 specs.
 func federationEnv(spec core.ClientSpec) cloudsim.Config {
 	caps := core.CapsFor(core.ScaleSpecs(core.Table3Specs(), 4))
-	return caps.EnvConfig(spec)
+	cfg := caps.EnvConfig(spec)
+	cfg.TopK = *topkFlag
+	cfg.UtilBuckets = *utilBucketsFlag
+	cfg.Oversub = *oversubFlag
+	return cfg
 }
 
 func specFor(dataset string, seed int64) (core.ClientSpec, error) {
@@ -132,7 +148,7 @@ func buildLocal(spec core.ClientSpec, tasks int, seed int64) (*fed.Client, error
 	rng := rand.New(rand.NewSource(seed))
 	ts := cloudsim.ClampTasks(workload.SampleDataset(spec.Dataset, rng, tasks), spec.VMs)
 	agent := rl.NewDualCriticPPO(
-		rl.DefaultConfig(cloudsim.StateDim(envCfg), envCfg.PadVMs+1),
+		rl.DefaultConfig(cloudsim.StateDim(envCfg), cloudsim.NumActions(envCfg)),
 		rand.New(rand.NewSource(seed*7919+13)))
 	return fed.NewClient(int(seed), spec.Name, envCfg, ts, agent)
 }

@@ -109,8 +109,9 @@ func TestQueueCursorLifecycle(t *testing.T) {
 	if env.qhead != 0 || len(env.queue) != 0 {
 		t.Fatalf("waiting queue not compacted: qhead=%d len=%d", env.qhead, len(env.queue))
 	}
-	if env.phead != 0 || len(env.pending) != 0 {
-		t.Fatalf("pending queue not reset: phead=%d len=%d", env.phead, len(env.pending))
+	if env.PendingLen() != 0 || !env.srcDone || env.hasPeek {
+		t.Fatalf("source not drained: pending=%d srcDone=%v hasPeek=%v",
+			env.PendingLen(), env.srcDone, env.hasPeek)
 	}
 	if cap(env.queue) > 4*n {
 		t.Fatalf("queue backing array grew unboundedly: cap %d", cap(env.queue))

@@ -24,6 +24,27 @@ type Config struct {
 	MaxMem     float64 // U^mem normalization cap in GiB
 	QueueDepth int     // Q: queued tasks visible in the observation
 
+	// TopK switches the observation and action space to the scalable
+	// fixed-width form: the policy sees the TopK best-fitting candidate VMs
+	// for the head task (plus aggregate utilization buckets, see
+	// UtilBuckets) and actions address candidate slots, so StateDim and
+	// NumActions stay constant as the cluster grows. 0 keeps the per-VM
+	// observation. TopK ≥ len(VMs) degrades to the identity mapping
+	// (candidate slot i = VM i) and runs the exact legacy code paths, so it
+	// is bit-identical to the per-VM engine with PadVMs = TopK.
+	TopK int
+	// UtilBuckets adds 2·UtilBuckets+3 aggregate features to a TopK
+	// observation: CPU and memory utilization histograms over all VMs plus
+	// total used-CPU, used-memory, and queue-length summaries. 0 disables
+	// the aggregate block (required for bit-identical TopK degradation).
+	UtilBuckets int
+	// Oversub is the vCPU/memory oversubscription ratio: every VM
+	// advertises floor(CPU·Oversub) schedulable vCPUs and Mem·Oversub GiB.
+	// Tasks placed while a VM's committed vCPUs exceed its physical count
+	// run slowed down (see VM.slowedDuration). 0 or 1 disables
+	// oversubscription, bit-identically to the non-oversubscribed engine.
+	Oversub float64
+
 	// Reward shaping.
 	Rho             float64               // ρ in Eq. (6); weight of the response reward
 	ResourceWeights [NumResources]float64 // w_i in Eqs. (4), (9), (24)
@@ -39,7 +60,8 @@ type Config struct {
 	Prices []float64
 
 	// MaxSteps caps an episode (0 means a generous default of
-	// 50·len(tasks)+1000 steps).
+	// 50·len(tasks)+1000 steps; sources with unknown totals require an
+	// explicit cap).
 	MaxSteps int
 }
 
@@ -81,6 +103,34 @@ func maxMem(vms []VMSpec) float64 {
 	return m
 }
 
+// NumActions returns the action-space size |A| for a configuration: TopK+1
+// candidate slots in scalable mode, PadVMs+1 VM slots otherwise; the last
+// index is always Wait. Exposed at package level so training code can size
+// policy networks from a Config alone.
+func NumActions(cfg Config) int {
+	if cfg.TopK > 0 {
+		return cfg.TopK + 1
+	}
+	return cfg.PadVMs + 1
+}
+
+// ratio returns the effective oversubscription ratio (1 = off).
+func (c *Config) ratio() float64 {
+	if c.Oversub > 1 {
+		return c.Oversub
+	}
+	return 1
+}
+
+// oversubCPU returns the schedulable vCPU count of a VM with cpu physical
+// vCPUs under the given ratio.
+func oversubCPU(cpu int, ratio float64) int {
+	if ratio <= 1 {
+		return cpu
+	}
+	return int(float64(cpu)*ratio + 1e-9)
+}
+
 // Validate checks the configuration.
 func (c *Config) Validate() error {
 	switch {
@@ -96,19 +146,27 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("cloudsim: invalid normalization caps")
 	case len(c.Prices) > 0 && len(c.Prices) != len(c.VMs):
 		return fmt.Errorf("cloudsim: %d prices for %d VMs", len(c.Prices), len(c.VMs))
+	case c.TopK < 0:
+		return fmt.Errorf("cloudsim: TopK must be >= 0")
+	case c.UtilBuckets < 0:
+		return fmt.Errorf("cloudsim: UtilBuckets must be >= 0")
+	case c.Oversub != 0 && c.Oversub < 1:
+		return fmt.Errorf("cloudsim: Oversub ratio %v must be 0 (off) or >= 1", c.Oversub)
 	}
 	for _, v := range c.VMs {
 		if v.CPU < 1 || v.Mem <= 0 {
 			return fmt.Errorf("cloudsim: invalid VM spec %+v", v)
 		}
-		if v.CPU > c.PadVCPUs {
-			return fmt.Errorf("cloudsim: VM has %d vCPUs > PadVCPUs %d", v.CPU, c.PadVCPUs)
+		if cap := oversubCPU(v.CPU, c.ratio()); cap > c.PadVCPUs {
+			return fmt.Errorf("cloudsim: VM has %d schedulable vCPUs > PadVCPUs %d", cap, c.PadVCPUs)
 		}
 	}
 	return nil
 }
 
-// TaskRecord is the outcome of one completed task.
+// TaskRecord is the outcome of one completed task. Under oversubscription
+// the Task's Duration is the effective (slowed) runtime, frozen at
+// placement time.
 type TaskRecord struct {
 	Task   workload.Task
 	Start  int // slot the task was placed
@@ -143,19 +201,37 @@ func completionLess(a, b completion) bool {
 // The state engine is event-driven: every placement pushes its known finish
 // slot onto a completion min-heap, and advancing time pops exactly the
 // tasks that finish — in (finish slot, task ID) order — instead of scanning
-// every VM. The waiting and pending queues are cursor-indexed so popping
-// does not re-slice the backing arrays forever, and Reset reuses all
-// buffers, keeping steady-state Step at zero allocations.
+// every VM. Arrivals are pulled incrementally from a TaskSource through a
+// one-task peek buffer, so episodes are never materialized; the waiting
+// queue is cursor-indexed so popping does not re-slice the backing array
+// forever, and Reset reuses all buffers, keeping steady-state Step at zero
+// allocations.
+//
+// In ranked top-k mode (0 < TopK < len(VMs)) the engine additionally keeps
+// the candidate index and incremental whole-cluster accumulators (sums of
+// utilizations, remaining fractions and their squares, busy power and
+// price), so one Step costs O(TopK + completions in the slot) rather than
+// O(VMs) — the property the 5000-VM cluster benchmarks pin.
 type Env struct {
 	cfg  Config
 	vms  []*VM
 	now  int
 	step int
 
-	pending []workload.Task // sorted by arrival; phead..len not yet arrived
-	phead   int
-	queue   []workload.Task // waiting queue (FIFO); qhead..len are waiting
-	qhead   int
+	// Streaming arrival state: src feeds tasks through a one-task peek.
+	src         TaskSource
+	ownSlice    SliceSource // backs the Reset([]workload.Task) path
+	sliceBuf    []workload.Task
+	peek        workload.Task
+	hasPeek     bool
+	srcDone     bool
+	srcErr      error
+	pulled      int // tasks pulled from src (including the peek)
+	knownTotal  int // src.Total() at reset; -1 when unknown
+	lastArrival int
+
+	queue []workload.Task // waiting queue (FIFO); qhead..len are waiting
+	qhead int
 
 	heap []completion // min-heap of outstanding task completions
 
@@ -164,6 +240,39 @@ type Env struct {
 
 	completed  []TaskRecord
 	totalTasks int
+
+	// Mode flags, fixed at Reset.
+	ranked bool // candidate index active (0 < TopK < len(VMs))
+	aggOn  bool // aggregate observation block active (TopK>0 && UtilBuckets>0)
+	hooks  bool // per-VM change hooks needed (ranked || aggOn)
+
+	// Static cluster-wide capacity summaries (post-oversubscription).
+	maxCapCPU int
+	maxCapMem float64
+	capCPUTot int
+	capMemTot float64
+
+	// Ranked-mode candidate cache (see Candidates).
+	idx       *vmIndex
+	cand      []int32
+	candValid bool
+
+	// Ranked-mode incremental accumulators, maintained by the VM-change
+	// hooks so per-slot stats cost O(1) instead of a cluster scan. Legacy
+	// and identity modes keep the exact full scans for bit-identity.
+	sumUtil        [NumResources]float64
+	sumRem         [NumResources]float64
+	sumRem2        [NumResources]float64
+	busyVMs        int
+	sumBusyCPUUtil float64
+	sumBusyPrice   float64
+
+	// Aggregate-observation state (aggOn): per-bucket VM counts by
+	// utilization, plus absolute used totals.
+	histCPU []int
+	histMem []int
+	usedCPU int
+	usedMem float64
 
 	// Time-integrated accumulators for Eqs. (24)–(25). Slot 0 counts.
 	utilSum    [NumResources]float64
@@ -175,6 +284,10 @@ type Env struct {
 	// Last placement's component rewards (see placementReward).
 	lastRespReward float64
 	lastLoadReward float64
+
+	// retireHook, when set, observes every completion pop in order (test
+	// hook for the invariant harness; nil in production).
+	retireHook func(completion)
 }
 
 // NewEnv creates an environment and loads the given task set.
@@ -199,11 +312,51 @@ func MustNewEnv(cfg Config, tasks []workload.Task) *Env {
 	return e
 }
 
+// NewEnvSource creates an environment fed by a streaming task source. When
+// the source's total is unknown (Total() < 0), Config.MaxSteps must be set:
+// the step cap is the only guaranteed episode bound.
+func NewEnvSource(cfg Config, src TaskSource) (*Env, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxSteps == 0 {
+		n := src.Total()
+		if n < 0 {
+			return nil, fmt.Errorf("cloudsim: source with unknown total requires an explicit MaxSteps")
+		}
+		cfg.MaxSteps = 50*n + 1000
+	}
+	e := &Env{cfg: cfg}
+	e.resetWith(src)
+	return e, nil
+}
+
 // Reset reinitializes the environment with a new task set, keeping the
 // configuration. Tasks must be sorted by arrival (workload generators
 // guarantee this). All internal buffers are reused, so resetting with a
 // same-shaped workload does not allocate in steady state.
 func (e *Env) Reset(tasks []workload.Task) {
+	e.sliceBuf = append(e.sliceBuf[:0], tasks...)
+	e.ownSlice.reset(e.sliceBuf)
+	e.resetWith(&e.ownSlice)
+}
+
+// ResetSource reinitializes the environment on a caller-provided streaming
+// source. The source must be freshly positioned (rewind reusable sources
+// before passing them). Sources with unknown totals require the
+// environment's MaxSteps cap to already be set.
+func (e *Env) ResetSource(src TaskSource) error {
+	if src.Total() < 0 && e.cfg.MaxSteps == 0 {
+		return fmt.Errorf("cloudsim: source with unknown total requires an explicit MaxSteps")
+	}
+	e.resetWith(src)
+	return nil
+}
+
+// resetWith re-derives every piece of episode state from the configuration
+// and the given source.
+func (e *Env) resetWith(src TaskSource) {
+	ratio := e.cfg.ratio()
 	if len(e.vms) != len(e.cfg.VMs) {
 		e.vms = make([]*VM, len(e.cfg.VMs))
 		for i := range e.vms {
@@ -211,18 +364,45 @@ func (e *Env) Reset(tasks []workload.Task) {
 		}
 	}
 	for i, spec := range e.cfg.VMs {
-		e.vms[i].reset(spec)
+		e.vms[i].reset(spec, ratio)
 	}
 	e.now = 0
 	e.step = 0
-	e.pending = append(e.pending[:0], tasks...)
-	e.phead = 0
 	e.queue = e.queue[:0]
 	e.qhead = 0
 	e.heap = e.heap[:0]
 	e.completed = e.completed[:0]
-	e.totalTasks = len(tasks)
+
+	e.src = src
+	e.knownTotal = src.Total()
+	e.totalTasks = 0
+	if e.knownTotal > 0 {
+		e.totalTasks = e.knownTotal
+	}
+	e.srcDone = false
+	e.srcErr = nil
+	e.hasPeek = false
+	e.pulled = 0
+	e.lastArrival = 0
+
+	e.ranked = e.cfg.TopK > 0 && e.cfg.TopK < len(e.vms)
+	e.aggOn = e.cfg.TopK > 0 && e.cfg.UtilBuckets > 0
+	e.hooks = e.ranked || e.aggOn
+	e.maxCapCPU, e.maxCapMem = 0, 0
+	e.capCPUTot, e.capMemTot = 0, 0
+	for _, vm := range e.vms {
+		if vm.capCPU > e.maxCapCPU {
+			e.maxCapCPU = vm.capCPU
+		}
+		if vm.capMem > e.maxCapMem {
+			e.maxCapMem = vm.capMem
+		}
+		e.capCPUTot += vm.capCPU
+		e.capMemTot += vm.capMem
+	}
+
 	e.buildObsProto()
+	e.initScalableState()
 	e.utilSum = [NumResources]float64{}
 	e.loadBalSum = 0
 	e.energySum = 0
@@ -230,6 +410,113 @@ func (e *Env) Reset(tasks []workload.Task) {
 	e.slots = 0
 	e.admitArrivals()
 	e.accumulateSlotStats()
+}
+
+// initScalableState (re)builds the candidate index, the incremental
+// whole-cluster accumulators, and the aggregate-observation histograms for
+// the freshly reset (all-idle) cluster.
+func (e *Env) initScalableState() {
+	e.candValid = false
+	if e.cfg.TopK > 0 && cap(e.cand) < e.cfg.TopK {
+		e.cand = make([]int32, 0, e.cfg.TopK)
+	}
+	n := len(e.vms)
+	if e.ranked {
+		e.idx = newVMIndex(n, e.maxCapCPU, e.maxCapMem)
+		for i, vm := range e.vms {
+			e.idx.add(i, cpuClassOf(vm.freeCPU), memClassOf(vm.freeMem))
+		}
+		for r := 0; r < NumResources; r++ {
+			e.sumUtil[r] = 0
+			e.sumRem[r] = float64(n)  // every rem is exactly 1 at reset
+			e.sumRem2[r] = float64(n) // 1² per VM
+		}
+		e.busyVMs = 0
+		e.sumBusyCPUUtil = 0
+		e.sumBusyPrice = 0
+	}
+	if e.aggOn {
+		b := e.cfg.UtilBuckets
+		if len(e.histCPU) != b {
+			e.histCPU = make([]int, b)
+			e.histMem = make([]int, b)
+		}
+		for i := 0; i < b; i++ {
+			e.histCPU[i], e.histMem[i] = 0, 0
+		}
+		e.histCPU[0], e.histMem[0] = n, n // idle VMs all sit in bucket 0
+		e.usedCPU = 0
+		e.usedMem = 0
+	}
+}
+
+// utilBucket maps a utilization in [0,1] to its histogram bucket.
+func (e *Env) utilBucket(u float64) int {
+	b := int(u * float64(e.cfg.UtilBuckets))
+	if b >= e.cfg.UtilBuckets {
+		b = e.cfg.UtilBuckets - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// preVMChange removes VM i's contributions from every incremental structure
+// before a place/retire mutates it. Paired with postVMChange.
+func (e *Env) preVMChange(i int) {
+	if !e.hooks {
+		return
+	}
+	v := e.vms[i]
+	if e.ranked {
+		e.idx.remove(i, cpuClassOf(v.freeCPU), memClassOf(v.freeMem))
+		for r := 0; r < NumResources; r++ {
+			e.sumUtil[r] -= v.util[r]
+			e.sumRem[r] -= v.rem[r]
+			e.sumRem2[r] -= v.rem[r] * v.rem[r]
+		}
+		if v.live > 0 {
+			e.busyVMs--
+			e.sumBusyCPUUtil -= v.util[0]
+			e.sumBusyPrice -= e.vmPrice(i)
+		}
+	}
+	if e.aggOn {
+		e.histCPU[e.utilBucket(v.util[0])]--
+		e.histMem[e.utilBucket(v.util[1])]--
+		e.usedCPU -= v.capCPU - v.freeCPU
+		e.usedMem -= v.capMem - v.freeMem
+	}
+}
+
+// postVMChange re-adds VM i's contributions after a place/retire and
+// invalidates the candidate cache.
+func (e *Env) postVMChange(i int) {
+	e.candValid = false
+	if !e.hooks {
+		return
+	}
+	v := e.vms[i]
+	if e.ranked {
+		e.idx.add(i, cpuClassOf(v.freeCPU), memClassOf(v.freeMem))
+		for r := 0; r < NumResources; r++ {
+			e.sumUtil[r] += v.util[r]
+			e.sumRem[r] += v.rem[r]
+			e.sumRem2[r] += v.rem[r] * v.rem[r]
+		}
+		if v.live > 0 {
+			e.busyVMs++
+			e.sumBusyCPUUtil += v.util[0]
+			e.sumBusyPrice += e.vmPrice(i)
+		}
+	}
+	if e.aggOn {
+		e.histCPU[e.utilBucket(v.util[0])]++
+		e.histMem[e.utilBucket(v.util[1])]++
+		e.usedCPU += v.capCPU - v.freeCPU
+		e.usedMem += v.capMem - v.freeMem
+	}
 }
 
 // Config returns the environment configuration.
@@ -241,8 +528,27 @@ func (e *Env) Now() int { return e.now }
 // QueueLen returns the number of waiting tasks.
 func (e *Env) QueueLen() int { return len(e.queue) - e.qhead }
 
-// PendingLen returns the number of tasks that have not yet arrived.
-func (e *Env) PendingLen() int { return len(e.pending) - e.phead }
+// PendingLen returns the number of tasks known to be on their way but not
+// yet arrived: the peeked task plus, for known-total sources, whatever the
+// source has not emitted yet. Unknown-total sources report only the peek.
+func (e *Env) PendingLen() int {
+	p := 0
+	if e.hasPeek {
+		p++
+	}
+	if !e.srcDone && e.knownTotal >= 0 {
+		if rem := e.knownTotal - e.pulled; rem > 0 {
+			p += rem
+		}
+	}
+	return p
+}
+
+// SourceErr returns the error that shut down the episode's task source
+// (malformed task, arrival-order regression, or a failing source), or nil.
+// After a source failure the environment stops pulling and the episode
+// completes deterministically over the tasks already admitted.
+func (e *Env) SourceErr() error { return e.srcErr }
 
 // HeadTask returns the task at the head of the waiting queue.
 func (e *Env) HeadTask() (workload.Task, bool) {
@@ -258,6 +564,7 @@ func (e *Env) HeadTask() (workload.Task, bool) {
 // array the way `queue = queue[1:]` did.
 func (e *Env) popHead() {
 	e.qhead++
+	e.candValid = false
 	switch {
 	case e.qhead == len(e.queue):
 		e.queue = e.queue[:0]
@@ -272,16 +579,24 @@ func (e *Env) popHead() {
 // VMs exposes the simulated machines (read-only use expected).
 func (e *Env) VMs() []*VM { return e.vms }
 
-// NumActions returns |A| = PadVMs + 1; the last action index is Wait.
-func (e *Env) NumActions() int { return e.cfg.PadVMs + 1 }
+// NumActions returns |A|: TopK+1 candidate slots in scalable mode,
+// PadVMs+1 VM slots otherwise; the last action index is Wait.
+func (e *Env) NumActions() int { return NumActions(e.cfg) }
 
 // WaitAction returns the index encoding the paper's action −1 (do nothing).
-func (e *Env) WaitAction() int { return e.cfg.PadVMs }
+func (e *Env) WaitAction() int { return e.NumActions() - 1 }
 
 // Done reports whether the episode has ended: all tasks completed, or the
-// step cap was hit.
+// step cap was hit. With an unknown-total source the episode stays open
+// while the source may still emit tasks.
 func (e *Env) Done() bool {
-	return len(e.completed) == e.totalTasks || e.step >= e.cfg.MaxSteps
+	if e.step >= e.cfg.MaxSteps {
+		return true
+	}
+	if e.knownTotal < 0 && !e.srcDone {
+		return false
+	}
+	return len(e.completed) == e.totalTasks
 }
 
 // Truncated reports whether the episode ended on the MaxSteps cap with work
@@ -289,7 +604,13 @@ func (e *Env) Done() bool {
 // would have kept running, so value estimation should bootstrap the tail
 // (see rl.Truncator) instead of treating the unfinished tasks as worthless.
 func (e *Env) Truncated() bool {
-	return e.step >= e.cfg.MaxSteps && len(e.completed) != e.totalTasks
+	if e.step < e.cfg.MaxSteps {
+		return false
+	}
+	if e.knownTotal < 0 && !e.srcDone {
+		return true
+	}
+	return len(e.completed) != e.totalTasks
 }
 
 // FeasibleActions returns a mask over the action space: placements that fit
@@ -304,7 +625,8 @@ func (e *Env) FeasibleActions() []bool {
 
 // FeasibleActionsInto writes the feasibility mask into dst (reallocating
 // when dst is too small) and returns the buffer, so rollout loops can stay
-// allocation-free.
+// allocation-free. In ranked mode the mask covers candidate slots, which
+// are feasible by construction (void slots are not).
 func (e *Env) FeasibleActionsInto(dst []bool) []bool {
 	n := e.NumActions()
 	if cap(dst) < n {
@@ -319,6 +641,12 @@ func (e *Env) FeasibleActionsInto(dst []bool) []bool {
 	if !ok {
 		return dst
 	}
+	if e.ranked {
+		for s, vi := range e.Candidates() {
+			dst[s] = vi >= 0
+		}
+		return dst
+	}
 	for i, vm := range e.vms {
 		dst[i] = vm.Fits(head)
 	}
@@ -326,10 +654,14 @@ func (e *Env) FeasibleActionsInto(dst []bool) []bool {
 }
 
 // anyFeasiblePlacement reports whether some real VM fits the head task.
+// Ranked mode reads the candidate cache instead of scanning the cluster.
 func (e *Env) anyFeasiblePlacement() bool {
 	head, ok := e.HeadTask()
 	if !ok {
 		return false
+	}
+	if e.ranked {
+		return e.Candidates()[0] >= 0
 	}
 	for _, vm := range e.vms {
 		if vm.Fits(head) {
@@ -344,12 +676,15 @@ func (e *Env) anyFeasiblePlacement() bool {
 //   - Valid placement: the head task starts on the chosen VM now; reward
 //     Eq. (6); time does NOT advance, so the agent may keep scheduling
 //     within the slot.
-//   - Invalid placement (VM index ≥ len(VMs), a padded "void" VM, or
-//     insufficient free resources): reward Eq. (9); the task stays queued
-//     and time advances one slot.
+//   - Invalid placement (a void slot, a VM with insufficient free
+//     resources, or in ranked mode a void candidate slot): reward Eq. (9);
+//     the task stays queued and time advances one slot.
 //   - Wait with a feasible VM available: the lazy penalty; time advances.
 //   - Wait with no feasible placement (or empty queue): reward 0; time
 //     advances.
+//
+// In ranked mode actions address candidate slots; the slot is resolved to
+// its VM against the current head task before the rules above apply.
 //
 // Step panics if called after Done or with an out-of-range action.
 func (e *Env) Step(action int) float64 {
@@ -374,26 +709,35 @@ func (e *Env) Step(action int) float64 {
 		return reward
 	}
 
-	if action >= len(e.vms) || !e.vms[action].Fits(head) {
+	vmIdx := action
+	if e.ranked {
+		vmIdx = int(e.Candidates()[action])
+	}
+	if vmIdx < 0 || vmIdx >= len(e.vms) || !e.vms[vmIdx].Fits(head) {
 		// Invalid: denied and penalized by the target VM's utilization
-		// (Eq. 9). Void VM slots count as fully utilized.
-		reward := e.invalidPenalty(action)
+		// (Eq. 9). Void slots count as fully utilized.
+		reward := e.invalidPenalty(vmIdx)
 		mSimInvalid.Inc()
 		e.advanceTime()
 		return reward
 	}
 
-	// Valid placement.
+	// Valid placement. Under oversubscription the task's effective duration
+	// is frozen now, from the VM's physical CPU pressure after placement.
 	mSimPlacements.Inc()
-	vm := e.vms[action]
+	vm := e.vms[vmIdx]
+	eff := head
+	eff.Duration = vm.slowedDuration(head.CPU, head.Duration)
 	before := e.loadBalance()
 	wasBusy := vm.RunningTasks() > 0
 	utilBefore := vm.utilization(0)
-	slot := vm.place(head, e.now)
+	e.preVMChange(vmIdx)
+	slot := vm.place(eff, e.now)
+	e.postVMChange(vmIdx)
 	e.heapPush(completion{
-		finish: e.now + head.Duration,
-		id:     head.ID,
-		vm:     int32(action),
+		finish: e.now + eff.Duration,
+		id:     eff.ID,
+		vm:     int32(vmIdx),
 		slot:   int32(slot),
 	})
 	e.popHead()
@@ -402,11 +746,11 @@ func (e *Env) Step(action int) float64 {
 	// The record's Finish is known at placement time because the simulator
 	// is deterministic (fixed durations, no preemption).
 	e.completed = append(e.completed, TaskRecord{
-		Task:   head,
+		Task:   eff,
 		Start:  e.now,
-		Finish: e.now + head.Duration,
+		Finish: e.now + eff.Duration,
 	})
-	base := e.placementReward(head, before, after)
+	base := e.placementReward(eff, before, after)
 	w := e.cfg.Objectives.normalized(e.cfg.Rho)
 	if w.Energy == 0 && w.Cost == 0 {
 		return base
@@ -416,15 +760,16 @@ func (e *Env) Step(action int) float64 {
 	respTerm, loadTerm := e.lastRespReward, e.lastLoadReward
 	return w.Response*respTerm + w.LoadBalance*loadTerm +
 		w.Energy*e.energyReward(vm, wasBusy, utilBefore, utilAfter) +
-		w.Cost*e.costReward(action, wasBusy)
+		w.Cost*e.costReward(vmIdx, wasBusy)
 }
 
 // invalidPenalty implements Eq. (9): −e^{Σ_i w_i·util_i} for the denied VM.
-func (e *Env) invalidPenalty(action int) float64 {
+// vmIdx < 0 or beyond the cluster is a void slot, treated as fully utilized.
+func (e *Env) invalidPenalty(vmIdx int) float64 {
 	s := 0.0
-	if action < len(e.vms) {
+	if vmIdx >= 0 && vmIdx < len(e.vms) {
 		for i := 0; i < NumResources; i++ {
-			s += e.cfg.ResourceWeights[i] * e.vms[action].utilization(i)
+			s += e.cfg.ResourceWeights[i] * e.vms[vmIdx].utilization(i)
 		}
 	} else {
 		// Padded void VM: treat as fully utilized.
@@ -461,8 +806,13 @@ func (e *Env) placementReward(t workload.Task, loadBefore, loadAfter float64) fl
 }
 
 // loadBalance implements Eq. (4): the weighted std-dev of per-VM remaining
-// fractions across resources. Lower is more balanced.
+// fractions across resources. Lower is more balanced. Ranked mode reads the
+// incrementally maintained sums (O(1)); other modes keep the exact two-pass
+// scan for bit-identity with the small-cluster engine.
 func (e *Env) loadBalance() float64 {
+	if e.ranked {
+		return e.loadBalanceFast()
+	}
 	n := float64(len(e.vms))
 	total := 0.0
 	for i := 0; i < NumResources; i++ {
@@ -481,6 +831,22 @@ func (e *Env) loadBalance() float64 {
 	return total
 }
 
+// loadBalanceFast computes Eq. (4) from the running Σrem and Σrem² sums:
+// Var = E[X²] − E[X]², clamped at 0 against accumulated rounding.
+func (e *Env) loadBalanceFast() float64 {
+	n := float64(len(e.vms))
+	total := 0.0
+	for i := 0; i < NumResources; i++ {
+		mean := e.sumRem[i] / n
+		variance := e.sumRem2[i]/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		total += e.cfg.ResourceWeights[i] * math.Sqrt(variance)
+	}
+	return total
+}
+
 // LoadBalance exposes Eq. (4) for metrics and tests.
 func (e *Env) LoadBalance() float64 { return e.loadBalance() }
 
@@ -493,7 +859,12 @@ func (e *Env) advanceTime() {
 	e.now++
 	for len(e.heap) > 0 && e.heap[0].finish <= e.now {
 		c := e.heapPop()
+		e.preVMChange(int(c.vm))
 		e.vms[c.vm].retire(int(c.slot))
+		e.postVMChange(int(c.vm))
+		if e.retireHook != nil {
+			e.retireHook(c)
+		}
 	}
 	e.admitArrivals()
 	e.accumulateSlotStats()
@@ -538,18 +909,95 @@ func (e *Env) heapPop() completion {
 	return top
 }
 
-func (e *Env) admitArrivals() {
-	for e.phead < len(e.pending) && e.pending[e.phead].Arrival <= e.now {
-		e.queue = append(e.queue, e.pending[e.phead])
-		e.phead++
+// validateTask rejects requests the simulator cannot execute: zero or
+// negative vCPUs, non-positive / non-finite memory, zero or negative
+// duration.
+func validateTask(t workload.Task) error {
+	switch {
+	case t.CPU < 1:
+		return fmt.Errorf("cloudsim: task %d requests %d vCPUs", t.ID, t.CPU)
+	case !(t.Mem > 0) || math.IsInf(t.Mem, 1):
+		// The negated comparison also catches NaN.
+		return fmt.Errorf("cloudsim: task %d requests non-positive or non-finite memory %v", t.ID, t.Mem)
+	case t.Duration < 1:
+		return fmt.Errorf("cloudsim: task %d has duration %d", t.ID, t.Duration)
 	}
-	if e.phead == len(e.pending) {
-		e.pending = e.pending[:0]
-		e.phead = 0
+	return nil
+}
+
+// srcFail shuts the task source down deterministically: no further pulls,
+// and the episode's expected total shrinks to the tasks already admitted,
+// so Done() is reachable over exactly the pre-failure work.
+func (e *Env) srcFail(err error) {
+	e.srcErr = err
+	e.srcDone = true
+	e.hasPeek = false
+	e.knownTotal = -1
+	e.totalTasks = len(e.completed) + e.QueueLen()
+}
+
+// admitArrivals pulls tasks from the source through the one-task peek
+// buffer and admits everything that has arrived by the current slot. Every
+// pull is validated (well-formed request, non-decreasing arrival); the
+// first violation shuts the source down via srcFail, never corrupting
+// engine state.
+func (e *Env) admitArrivals() {
+	for {
+		if !e.hasPeek {
+			if e.srcDone {
+				return
+			}
+			t, ok := e.src.Next()
+			if !ok {
+				e.srcDone = true
+				if err := e.src.Err(); err != nil {
+					e.srcFail(err)
+				} else if e.knownTotal >= 0 && e.pulled < e.knownTotal {
+					e.srcFail(fmt.Errorf("cloudsim: source ended after %d of %d tasks", e.pulled, e.knownTotal))
+				}
+				return
+			}
+			if err := validateTask(t); err != nil {
+				e.srcFail(err)
+				return
+			}
+			if t.Arrival < 0 || t.Arrival < e.lastArrival {
+				e.srcFail(fmt.Errorf("cloudsim: task %d arrival %d regresses (last %d)", t.ID, t.Arrival, e.lastArrival))
+				return
+			}
+			e.pulled++
+			if e.knownTotal < 0 {
+				e.totalTasks++
+			}
+			e.lastArrival = t.Arrival
+			e.peek = t
+			e.hasPeek = true
+		}
+		if e.peek.Arrival > e.now {
+			return
+		}
+		e.queue = append(e.queue, e.peek)
+		e.hasPeek = false
+		e.candValid = false
 	}
 }
 
+// accumulateSlotStats folds one slot into the Eq. (24)–(25) and energy/cost
+// accumulators. Ranked mode reads the incrementally maintained sums (O(1));
+// other modes keep the exact cluster scan for bit-identity.
 func (e *Env) accumulateSlotStats() {
+	if e.ranked {
+		n := float64(len(e.vms))
+		for i := 0; i < NumResources; i++ {
+			e.utilSum[i] += e.sumUtil[i] / n
+		}
+		e.loadBalSum += e.loadBalanceFast()
+		pm := e.cfg.Power
+		e.energySum += float64(e.busyVMs)*pm.IdleWatts + (pm.PeakWatts-pm.IdleWatts)*e.sumBusyCPUUtil
+		e.costSum += e.sumBusyPrice
+		e.slots++
+		return
+	}
 	for i := 0; i < NumResources; i++ {
 		s := 0.0
 		for _, vm := range e.vms {
@@ -571,19 +1019,30 @@ func (e *Env) accumulateSlotStats() {
 // Inject appends a task to the waiting queue with arrival time = Now. It
 // supports dynamic task sources — notably workflow DAGs, where a stage
 // becomes schedulable only when its dependencies complete (the paper's
-// stated future work). Injection also increments the episode's expected
-// task count unless ExpectTotal pre-announced it.
-func (e *Env) Inject(t workload.Task) {
+// stated future work). Malformed and over-capacity tasks (which no VM could
+// ever run) are rejected with an error and leave the environment untouched.
+// Injection also increments the episode's expected task count unless
+// ExpectTotal pre-announced it.
+func (e *Env) Inject(t workload.Task) error {
+	if err := validateTask(t); err != nil {
+		return err
+	}
+	if t.CPU > e.maxCapCPU || t.Mem > e.maxCapMem {
+		return fmt.Errorf("cloudsim: task %d (%d vCPU, %.3g GiB) exceeds every VM's capacity (max %d vCPU, %.3g GiB)",
+			t.ID, t.CPU, t.Mem, e.maxCapCPU, e.maxCapMem)
+	}
 	if t.Arrival < e.now {
 		t.Arrival = e.now
 	}
 	e.queue = append(e.queue, t)
+	e.candValid = false
 	// Keep Done meaningful: the expected count must cover every task the
 	// environment knows about. ExpectTotal may already have reserved
 	// headroom for this injection.
 	if known := e.QueueLen() + e.PendingLen() + len(e.completed); e.totalTasks < known {
 		e.totalTasks = known
 	}
+	return nil
 }
 
 // ExpectTotal declares the episode's true task count up front, so Done

@@ -16,33 +16,40 @@ import "repro/internal/workload"
 func ClampTasks(tasks []workload.Task, vms []VMSpec) []workload.Task {
 	out := append([]workload.Task(nil), tasks...)
 	for i := range out {
-		t := &out[i]
-		if fitsAny(*t, vms) {
-			continue
-		}
-		best, bestScore := 0, -1.0
-		for j, v := range vms {
-			cpuFrac := 1.0
-			if t.CPU > v.CPU {
-				cpuFrac = float64(v.CPU) / float64(t.CPU)
-			}
-			memFrac := 1.0
-			if t.Mem > v.Mem {
-				memFrac = v.Mem / t.Mem
-			}
-			if score := cpuFrac * memFrac; score > bestScore {
-				best, bestScore = j, score
-			}
-		}
-		v := vms[best]
-		if t.CPU > v.CPU {
-			t.CPU = v.CPU
-		}
-		if t.Mem > v.Mem {
-			t.Mem = v.Mem
-		}
+		out[i] = ClampTask(out[i], vms)
 	}
 	return out
+}
+
+// ClampTask applies the ClampTasks policy to a single task, so streaming
+// sources can clamp on the fly without materializing the episode. The math
+// is identical to ClampTasks (which delegates here).
+func ClampTask(t workload.Task, vms []VMSpec) workload.Task {
+	if fitsAny(t, vms) {
+		return t
+	}
+	best, bestScore := 0, -1.0
+	for j, v := range vms {
+		cpuFrac := 1.0
+		if t.CPU > v.CPU {
+			cpuFrac = float64(v.CPU) / float64(t.CPU)
+		}
+		memFrac := 1.0
+		if t.Mem > v.Mem {
+			memFrac = v.Mem / t.Mem
+		}
+		if score := cpuFrac * memFrac; score > bestScore {
+			best, bestScore = j, score
+		}
+	}
+	v := vms[best]
+	if t.CPU > v.CPU {
+		t.CPU = v.CPU
+	}
+	if t.Mem > v.Mem {
+		t.Mem = v.Mem
+	}
+	return t
 }
 
 func fitsAny(t workload.Task, vms []VMSpec) bool {

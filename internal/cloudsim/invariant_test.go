@@ -1,0 +1,506 @@
+package cloudsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// This file is the simulator invariant-test harness: a randomized-action
+// driver that runs many (seed, policy, configuration) episodes and asserts
+// global engine invariants after every Step — at 20 VMs with exhaustive
+// per-step checks and at 500 VMs with sampled deep checks, in legacy,
+// identity, ranked top-k, and oversubscribed modes.
+
+// tieredCluster builds an n-VM cluster cycling through the four hardware
+// tiers used by the benchmarks.
+func tieredCluster(n int) []VMSpec {
+	mix := []VMSpec{{CPU: 8, Mem: 64}, {CPU: 16, Mem: 128}, {CPU: 32, Mem: 256}, {CPU: 64, Mem: 512}}
+	specs := make([]VMSpec, n)
+	for i := range specs {
+		specs[i] = mix[i%len(mix)]
+	}
+	return specs
+}
+
+// invWorkload samples a clamped Google-model workload for the cluster.
+func invWorkload(specs []VMSpec, n int, seed int64) []workload.Task {
+	m := workload.Lookup(workload.Google)
+	return ClampTasks(m.Sample(rand.New(rand.NewSource(seed)), n), specs)
+}
+
+// invariantRun drives env to completion with pick, checking engine
+// invariants after every step. deepEvery > 0 additionally cross-checks the
+// incremental ranked-mode state against scratch recomputation (and the
+// candidate index against a brute-force ranking) every deepEvery steps.
+func invariantRun(t *testing.T, env *Env, pick func(*Env, *rand.Rand) int, rng *rand.Rand, deepEvery int) {
+	t.Helper()
+
+	// Retirement-order and exactly-once accounting via the retire hook.
+	lastFinish, lastID := -1, -1
+	retired := make(map[int]int)
+	env.retireHook = func(c completion) {
+		if c.finish < lastFinish || (c.finish == lastFinish && c.id <= lastID) {
+			t.Fatalf("heap popped (%d,%d) after (%d,%d)", c.finish, c.id, lastFinish, lastID)
+		}
+		lastFinish, lastID = c.finish, c.id
+		retired[c.id]++
+		if retired[c.id] > 1 {
+			t.Fatalf("task %d retired %d times", c.id, retired[c.id])
+		}
+	}
+	defer func() { env.retireHook = nil }()
+
+	prevPulled, prevPlaced := 0, 0
+	steps := 0
+	for !env.Done() {
+		env.Step(pick(env, rng))
+		steps++
+		// Cursor monotonicity: pulls and placements never regress.
+		if env.pulled < prevPulled {
+			t.Fatalf("source pull counter regressed: %d -> %d", prevPulled, env.pulled)
+		}
+		if len(env.completed) < prevPlaced {
+			t.Fatalf("placement count regressed: %d -> %d", prevPlaced, len(env.completed))
+		}
+		prevPulled, prevPlaced = env.pulled, len(env.completed)
+		checkStepInvariants(t, env)
+		if deepEvery > 0 && steps%deepEvery == 0 {
+			checkDeepInvariants(t, env)
+		}
+	}
+	env.Drain()
+	checkStepInvariants(t, env)
+	checkDeepInvariants(t, env)
+
+	// After draining, every placed task has retired exactly once and
+	// nothing is left in flight.
+	if len(env.heap) != 0 {
+		t.Fatalf("completion heap not empty after Drain: %d entries", len(env.heap))
+	}
+	for _, vm := range env.VMs() {
+		if vm.RunningTasks() != 0 {
+			t.Fatalf("VM still running %d tasks after Drain", vm.RunningTasks())
+		}
+	}
+	if len(retired) != len(env.completed) {
+		t.Fatalf("retired %d distinct tasks, placed %d", len(retired), len(env.completed))
+	}
+	for _, r := range env.Records() {
+		if retired[r.Task.ID] != 1 {
+			t.Fatalf("placed task %d retired %d times", r.Task.ID, retired[r.Task.ID])
+		}
+	}
+	if !env.Truncated() && env.SourceErr() == nil && len(env.completed) != env.totalTasks {
+		t.Fatalf("episode done with %d of %d tasks placed", len(env.completed), env.totalTasks)
+	}
+}
+
+// checkStepInvariants asserts the per-VM resource-accounting invariants:
+// free counters within [0, cap], committed vCPUs never beyond the
+// oversubscription cap, the vCPU owner table consistent with the task
+// store, and queue cursors in range.
+func checkStepInvariants(t *testing.T, env *Env) {
+	t.Helper()
+	if env.qhead < 0 || env.qhead > len(env.queue) {
+		t.Fatalf("queue cursor out of range: qhead=%d len=%d", env.qhead, len(env.queue))
+	}
+	for vi, vm := range env.VMs() {
+		if vm.freeCPU < 0 || vm.freeCPU > vm.capCPU {
+			t.Fatalf("VM %d freeCPU %d outside [0,%d]", vi, vm.freeCPU, vm.capCPU)
+		}
+		if vm.freeMem < -1e-9 || vm.freeMem > vm.capMem+1e-9 {
+			t.Fatalf("VM %d freeMem %g outside [0,%g]", vi, vm.freeMem, vm.capMem)
+		}
+		// Owner table vs store: every occupied vCPU belongs to exactly one
+		// active task, and each active task owns exactly task.CPU vCPUs.
+		ownedBy := make(map[int]int)
+		occupied := 0
+		for k, owner := range vm.vcpuOwner {
+			if owner == -1 {
+				continue
+			}
+			occupied++
+			ownedBy[owner]++
+			if owner >= len(vm.store) || !vm.store[owner].active {
+				t.Fatalf("VM %d vCPU %d owned by dead store slot %d", vi, k, owner)
+			}
+		}
+		sumCPU, sumMem := 0, 0.0
+		vm.forEachRunning(func(r *running) {
+			sumCPU += r.task.CPU
+			sumMem += r.task.Mem
+			slot := r.vcpus
+			if len(slot) != r.task.CPU {
+				t.Fatalf("VM %d task %d holds %d vCPUs, requested %d", vi, r.task.ID, len(slot), r.task.CPU)
+			}
+		})
+		if occupied != vm.capCPU-vm.freeCPU || sumCPU != occupied {
+			t.Fatalf("VM %d vCPU accounting: owners=%d cap-free=%d tasks=%d",
+				vi, occupied, vm.capCPU-vm.freeCPU, sumCPU)
+		}
+		if math.Abs(sumMem-(vm.capMem-vm.freeMem)) > 1e-6 {
+			t.Fatalf("VM %d memory accounting: tasks=%g cap-free=%g", vi, sumMem, vm.capMem-vm.freeMem)
+		}
+	}
+}
+
+// checkDeepInvariants cross-checks the ranked-mode incremental state
+// (whole-cluster accumulators, aggregate histograms, and the candidate
+// index) against scratch recomputation.
+func checkDeepInvariants(t *testing.T, env *Env) {
+	t.Helper()
+	if env.aggOn {
+		histCPU := make([]int, env.cfg.UtilBuckets)
+		histMem := make([]int, env.cfg.UtilBuckets)
+		usedCPU, usedMem := 0, 0.0
+		for _, vm := range env.VMs() {
+			histCPU[env.utilBucket(vm.util[0])]++
+			histMem[env.utilBucket(vm.util[1])]++
+			usedCPU += vm.capCPU - vm.freeCPU
+			usedMem += vm.capMem - vm.freeMem
+		}
+		for b := range histCPU {
+			if histCPU[b] != env.histCPU[b] || histMem[b] != env.histMem[b] {
+				t.Fatalf("histogram drift in bucket %d: cpu %d/%d mem %d/%d",
+					b, env.histCPU[b], histCPU[b], env.histMem[b], histMem[b])
+			}
+		}
+		if usedCPU != env.usedCPU || math.Abs(usedMem-env.usedMem) > 1e-6 {
+			t.Fatalf("usage drift: cpu %d/%d mem %g/%g", env.usedCPU, usedCPU, env.usedMem, usedMem)
+		}
+	}
+	if !env.ranked {
+		return
+	}
+	// Accumulators vs scratch scans.
+	var sumUtil, sumRem, sumRem2 [NumResources]float64
+	busy, busyUtil, busyPrice := 0, 0.0, 0.0
+	for i, vm := range env.VMs() {
+		for r := 0; r < NumResources; r++ {
+			sumUtil[r] += vm.util[r]
+			sumRem[r] += vm.rem[r]
+			sumRem2[r] += vm.rem[r] * vm.rem[r]
+		}
+		if vm.RunningTasks() > 0 {
+			busy++
+			busyUtil += vm.util[0]
+			busyPrice += env.vmPrice(i)
+		}
+	}
+	for r := 0; r < NumResources; r++ {
+		if math.Abs(sumUtil[r]-env.sumUtil[r]) > 1e-6 ||
+			math.Abs(sumRem[r]-env.sumRem[r]) > 1e-6 ||
+			math.Abs(sumRem2[r]-env.sumRem2[r]) > 1e-6 {
+			t.Fatalf("accumulator drift on resource %d", r)
+		}
+	}
+	if busy != env.busyVMs || math.Abs(busyUtil-env.sumBusyCPUUtil) > 1e-6 ||
+		math.Abs(busyPrice-env.sumBusyPrice) > 1e-6 {
+		t.Fatalf("busy-VM accumulator drift: %d/%d %g/%g %g/%g",
+			env.busyVMs, busy, env.sumBusyCPUUtil, busyUtil, env.sumBusyPrice, busyPrice)
+	}
+	// Candidate index vs brute-force ranking.
+	head, ok := env.HeadTask()
+	if !ok {
+		return
+	}
+	type key struct{ c, m, i int }
+	var want []key
+	for i, vm := range env.VMs() {
+		if vm.Fits(head) {
+			want = append(want, key{cpuClassOf(vm.freeCPU), memClassOf(vm.freeMem), i})
+		}
+	}
+	sort.Slice(want, func(a, b int) bool {
+		if want[a].c != want[b].c {
+			return want[a].c < want[b].c
+		}
+		if want[a].m != want[b].m {
+			return want[a].m < want[b].m
+		}
+		return want[a].i < want[b].i
+	})
+	if len(want) > env.cfg.TopK {
+		want = want[:env.cfg.TopK]
+	}
+	got := env.Candidates()
+	for s := range got {
+		switch {
+		case s < len(want) && int(got[s]) != want[s].i:
+			t.Fatalf("candidate slot %d: got VM %d, brute force wants %d", s, got[s], want[s].i)
+		case s >= len(want) && got[s] != -1:
+			t.Fatalf("candidate slot %d: got VM %d past %d feasible VMs", s, got[s], len(want))
+		}
+		if got[s] >= 0 && !env.VMs()[got[s]].Fits(head) {
+			t.Fatalf("candidate slot %d: VM %d does not fit head task", s, got[s])
+		}
+	}
+}
+
+// invariant driver policies: pure-random actions (mostly invalid at large
+// action counts — exercises penalties and time advancement), feasible-only
+// random actions, and the heuristic portfolio.
+func pickRandom(env *Env, rng *rand.Rand) int { return rng.Intn(env.NumActions()) }
+
+func pickFeasible(env *Env, rng *rand.Rand) int {
+	mask := env.FeasibleActions()
+	n := 0
+	for _, ok := range mask {
+		if ok {
+			n++
+		}
+	}
+	pick := rng.Intn(n)
+	for a, ok := range mask {
+		if ok {
+			if pick == 0 {
+				return a
+			}
+			pick--
+		}
+	}
+	return env.WaitAction()
+}
+
+func policyPicker(p Policy) func(*Env, *rand.Rand) int {
+	return func(env *Env, _ *rand.Rand) int { return p.SelectAction(env) }
+}
+
+// invariantConfigs returns the mode matrix for a cluster: legacy per-VM,
+// identity top-k, ranked top-k with aggregates, and ranked + oversubscribed.
+func invariantConfigs(specs []VMSpec) map[string]Config {
+	legacy := DefaultConfig(specs)
+	identity := legacy
+	identity.TopK = len(specs)
+	ranked := legacy
+	ranked.TopK = 4
+	ranked.UtilBuckets = 4
+	oversub := ranked
+	oversub.Oversub = 1.5
+	oversub.PadVCPUs = oversubCPU(legacy.PadVCPUs, 1.5)
+	return map[string]Config{
+		"legacy": legacy, "identity": identity, "ranked": ranked, "oversub": oversub,
+	}
+}
+
+// TestInvariants20VMs runs the full policy × mode × seed matrix on a 20-VM
+// cluster with per-step invariant checks and frequent deep checks.
+func TestInvariants20VMs(t *testing.T) {
+	specs := benchCluster()
+	for name, cfg := range invariantConfigs(specs) {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				tasks := invWorkload(specs, 150, seed)
+				env := MustNewEnv(cfg, tasks)
+				policies := []struct {
+					name string
+					pick func(*Env, *rand.Rand) int
+				}{
+					{"random", pickRandom},
+					{"feasible", pickFeasible},
+					{"first-fit", policyPicker(FirstFit{})},
+					{"best-fit", policyPicker(BestFit{})},
+					{"worst-fit", policyPicker(WorstFit{})},
+					{"round-robin", policyPicker(&RoundRobin{})},
+					{"random-fit", policyPicker(RandomFit{Rng: rand.New(rand.NewSource(seed))})},
+				}
+				for _, p := range policies {
+					env.Reset(tasks)
+					invariantRun(t, env, p.pick, rand.New(rand.NewSource(seed*101+1)), 10)
+					if t.Failed() {
+						t.Fatalf("invariants failed: seed %d policy %s", seed, p.name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInvariants500VMs runs the harness at 500 VMs in ranked and
+// oversubscribed modes (the scalable code paths), with per-step accounting
+// checks and sampled deep checks.
+func TestInvariants500VMs(t *testing.T) {
+	specs := tieredCluster(500)
+	for _, mode := range []string{"ranked", "oversub"} {
+		cfg := invariantConfigs(specs)[mode]
+		cfg.TopK = 8
+		t.Run(mode, func(t *testing.T) {
+			for seed := int64(1); seed <= 2; seed++ {
+				tasks := invWorkload(specs, 1500, seed)
+				env := MustNewEnv(cfg, tasks)
+				for _, pick := range []func(*Env, *rand.Rand) int{
+					pickRandom, policyPicker(BestFit{}), policyPicker(&RoundRobin{}),
+				} {
+					env.Reset(tasks)
+					invariantRun(t, env, pick, rand.New(rand.NewSource(seed*7+3)), 200)
+				}
+			}
+		})
+	}
+}
+
+// TestInvariantsStreamingSource runs the harness over a streaming sampler
+// source (tasks never materialized) including an unknown-total CSV-style
+// wrapper, exercising the peek/pull path under random actions.
+func TestInvariantsStreamingSource(t *testing.T) {
+	specs := benchCluster()
+	cfg := invariantConfigs(specs)["ranked"]
+	m := workload.Lookup(workload.Google)
+	for seed := int64(1); seed <= 3; seed++ {
+		src := NewSamplerSource(m, seed, 200, specs)
+		env, err := NewEnvSource(cfg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		invariantRun(t, env, pickFeasible, rand.New(rand.NewSource(seed)), 25)
+
+		// Same source via an unknown-total wrapper: requires MaxSteps.
+		src.Rewind()
+		cfgU := cfg
+		cfgU.MaxSteps = 20000
+		envU, err := NewEnvSource(cfgU, unknownTotal{src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		invariantRun(t, envU, pickFeasible, rand.New(rand.NewSource(seed)), 25)
+		if envU.SourceErr() != nil {
+			t.Fatalf("unexpected source error: %v", envU.SourceErr())
+		}
+	}
+}
+
+// unknownTotal masks a source's total, modeling CSV-style streams.
+type unknownTotal struct{ src TaskSource }
+
+func (u unknownTotal) Next() (workload.Task, bool) { return u.src.Next() }
+func (u unknownTotal) Total() int                  { return -1 }
+func (u unknownTotal) Err() error                  { return u.src.Err() }
+
+// TestUnknownTotalRequiresMaxSteps pins the guard: an unknown-total source
+// without a step cap is a configuration error, not a hang.
+func TestUnknownTotalRequiresMaxSteps(t *testing.T) {
+	specs := benchCluster()
+	cfg := DefaultConfig(specs)
+	src := NewSamplerSource(workload.Lookup(workload.Google), 1, 10, specs)
+	if _, err := NewEnvSource(cfg, unknownTotal{src}); err == nil {
+		t.Fatal("NewEnvSource accepted an unknown-total source without MaxSteps")
+	}
+	// Envs built through NewEnv/NewEnvSource always carry a materialized
+	// MaxSteps, so resetting one onto an unknown-total source is fine.
+	env := MustNewEnv(cfg, nil)
+	if err := env.ResetSource(unknownTotal{src}); err != nil {
+		t.Fatalf("ResetSource with a materialized MaxSteps: %v", err)
+	}
+}
+
+// TestSourceFailureShutsDownDeterministically pins srcFail: a source that
+// yields a malformed task (or regressing arrivals) stops feeding, reports
+// SourceErr, and the episode completes over the tasks already admitted.
+func TestSourceFailureShutsDownDeterministically(t *testing.T) {
+	specs := []VMSpec{{CPU: 4, Mem: 8}}
+	cfg := DefaultConfig(specs)
+	cfg.MaxSteps = 500
+	cases := []struct {
+		name  string
+		tasks []workload.Task
+	}{
+		{"zero-duration", []workload.Task{
+			{ID: 0, Arrival: 0, CPU: 1, Mem: 1, Duration: 2},
+			{ID: 1, Arrival: 1, CPU: 1, Mem: 1, Duration: 0},
+			{ID: 2, Arrival: 2, CPU: 1, Mem: 1, Duration: 2},
+		}},
+		{"arrival-regression", []workload.Task{
+			{ID: 0, Arrival: 3, CPU: 1, Mem: 1, Duration: 2},
+			{ID: 1, Arrival: 1, CPU: 1, Mem: 1, Duration: 2},
+		}},
+		{"bad-memory", []workload.Task{
+			{ID: 0, Arrival: 0, CPU: 1, Mem: 1, Duration: 2},
+			{ID: 1, Arrival: 0, CPU: 1, Mem: math.NaN(), Duration: 2},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env, err := NewEnvSource(cfg, &scriptedSource{tasks: tc.tasks})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for !env.Done() {
+				env.Step(FirstFit{}.SelectAction(env))
+				checkStepInvariants(t, env)
+			}
+			env.Drain()
+			if env.SourceErr() == nil {
+				t.Fatal("source error not reported")
+			}
+			if got := len(env.Records()); got != 1 {
+				t.Fatalf("placed %d tasks, want exactly the 1 valid pre-failure task", got)
+			}
+		})
+	}
+}
+
+// scriptedSource replays a fixed script without validation (unlike
+// SliceSource it can carry malformed tasks) and claims an unknown total so
+// validation failures are attributable to the environment, with totals
+// recomputed by srcFail.
+type scriptedSource struct {
+	tasks []workload.Task
+	pos   int
+}
+
+func (s *scriptedSource) Next() (workload.Task, bool) {
+	if s.pos >= len(s.tasks) {
+		return workload.Task{}, false
+	}
+	t := s.tasks[s.pos]
+	s.pos++
+	return t, true
+}
+
+func (s *scriptedSource) Total() int { return -1 }
+func (s *scriptedSource) Err() error { return nil }
+
+// failingSource errors mid-stream, exercising the Err() branch of the
+// admit loop.
+type failingSource struct{ emitted int }
+
+func (s *failingSource) Next() (workload.Task, bool) {
+	if s.emitted >= 2 {
+		return workload.Task{}, false
+	}
+	s.emitted++
+	return workload.Task{ID: s.emitted, Arrival: 0, CPU: 1, Mem: 1, Duration: 1}, true
+}
+
+func (s *failingSource) Total() int { return -1 }
+func (s *failingSource) Err() error {
+	if s.emitted >= 2 {
+		return fmt.Errorf("backing store went away")
+	}
+	return nil
+}
+
+func TestSourceErrPropagates(t *testing.T) {
+	cfg := DefaultConfig([]VMSpec{{CPU: 4, Mem: 8}})
+	cfg.MaxSteps = 100
+	env, err := NewEnvSource(cfg, &failingSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !env.Done() {
+		env.Step(FirstFit{}.SelectAction(env))
+	}
+	env.Drain()
+	if env.SourceErr() == nil {
+		t.Fatal("mid-stream source error not surfaced via SourceErr")
+	}
+	if len(env.Records()) != 2 {
+		t.Fatalf("placed %d tasks, want the 2 emitted before the failure", len(env.Records()))
+	}
+}

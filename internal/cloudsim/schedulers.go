@@ -12,8 +12,20 @@ type Policy interface {
 	Name() string
 }
 
+// candPrefixLen returns the number of feasible (non-void) candidate slots
+// in ranked mode. Non-void entries always form a prefix.
+func candPrefixLen(env *Env) int {
+	cand := env.Candidates()
+	n := 0
+	for n < len(cand) && cand[n] >= 0 {
+		n++
+	}
+	return n
+}
+
 // FirstFit places the head task on the lowest-indexed VM that fits it,
-// waiting when none does.
+// waiting when none does. In ranked mode it picks the candidate slot whose
+// VM index is lowest (the candidates are the only visible VMs).
 type FirstFit struct{}
 
 // Name implements Policy.
@@ -25,6 +37,22 @@ func (FirstFit) SelectAction(env *Env) int {
 	if !ok {
 		return env.WaitAction()
 	}
+	if env.Ranked() {
+		cand := env.Candidates()
+		best, slot := -1, -1
+		for s, vi := range cand {
+			if vi < 0 {
+				break
+			}
+			if best == -1 || int(vi) < best {
+				best, slot = int(vi), s
+			}
+		}
+		if slot == -1 {
+			return env.WaitAction()
+		}
+		return slot
+	}
 	for i, vm := range env.VMs() {
 		if vm.Fits(head) {
 			return i
@@ -35,6 +63,8 @@ func (FirstFit) SelectAction(env *Env) int {
 
 // BestFit places the head task on the fitting VM with the least leftover
 // weighted capacity after placement (tightest fit), waiting when none fits.
+// In ranked mode candidate slot 0 is already the tightest-fitting candidate
+// (the index ranks by ascending free-capacity class), so BestFit takes it.
 type BestFit struct{}
 
 // Name implements Policy.
@@ -44,6 +74,12 @@ func (BestFit) Name() string { return "best-fit" }
 func (BestFit) SelectAction(env *Env) int {
 	head, ok := env.HeadTask()
 	if !ok {
+		return env.WaitAction()
+	}
+	if env.Ranked() {
+		if env.Candidates()[0] >= 0 {
+			return 0
+		}
 		return env.WaitAction()
 	}
 	cfg := env.Config()
@@ -66,7 +102,8 @@ func (BestFit) SelectAction(env *Env) int {
 }
 
 // WorstFit places the head task on the fitting VM with the most leftover
-// capacity (spreads load), waiting when none fits.
+// capacity (spreads load), waiting when none fits. In ranked mode it takes
+// the last feasible candidate slot — the loosest fit the index surfaced.
 type WorstFit struct{}
 
 // Name implements Policy.
@@ -76,6 +113,12 @@ func (WorstFit) Name() string { return "worst-fit" }
 func (WorstFit) SelectAction(env *Env) int {
 	head, ok := env.HeadTask()
 	if !ok {
+		return env.WaitAction()
+	}
+	if env.Ranked() {
+		if n := candPrefixLen(env); n > 0 {
+			return n - 1
+		}
 		return env.WaitAction()
 	}
 	cfg := env.Config()
@@ -110,6 +153,12 @@ func (p RandomFit) SelectAction(env *Env) int {
 	if !ok {
 		return env.WaitAction()
 	}
+	if env.Ranked() {
+		if n := candPrefixLen(env); n > 0 {
+			return p.Rng.Intn(n)
+		}
+		return env.WaitAction()
+	}
 	var fits []int
 	for i, vm := range env.VMs() {
 		if vm.Fits(head) {
@@ -133,6 +182,14 @@ func (*RoundRobin) Name() string { return "round-robin" }
 func (p *RoundRobin) SelectAction(env *Env) int {
 	head, ok := env.HeadTask()
 	if !ok {
+		return env.WaitAction()
+	}
+	if env.Ranked() {
+		if n := candPrefixLen(env); n > 0 {
+			s := p.next % n
+			p.next = (s + 1) % n
+			return s
+		}
 		return env.WaitAction()
 	}
 	n := len(env.VMs())

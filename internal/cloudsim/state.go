@@ -6,13 +6,35 @@ package cloudsim
 // idle-but-present resources (which encode as 0).
 const VoidMarker = -1.0
 
+// padSlots returns the number of VM slots in the observation and action
+// space: TopK candidate slots in scalable mode, PadVMs otherwise.
+func (c *Config) padSlots() int {
+	if c.TopK > 0 {
+		return c.TopK
+	}
+	return c.PadVMs
+}
+
+// aggDim returns the width of the aggregate-utilization block appended to a
+// scalable observation: CPU and memory utilization histograms of UtilBuckets
+// buckets each, plus total used-CPU fraction, used-memory fraction, and a
+// squashed queue length. Zero when the block is disabled.
+func aggDim(cfg Config) int {
+	if cfg.TopK > 0 && cfg.UtilBuckets > 0 {
+		return 2*cfg.UtilBuckets + 3
+	}
+	return 0
+}
+
 // StateDim returns the observation length for a configuration:
 //
-//	L·d  (remaining capacity per VM slot)
+//	L·d  (remaining capacity per VM slot; L = TopK in scalable mode)
 //	L·U  (per-vCPU completion progress)
 //	Q·d  (requested resources of the first Q queued tasks)
+//	[2B+3 aggregate block, scalable mode with UtilBuckets = B > 0]
 func StateDim(cfg Config) int {
-	return cfg.PadVMs*NumResources + cfg.PadVMs*cfg.PadVCPUs + cfg.QueueDepth*NumResources
+	l := cfg.padSlots()
+	return l*NumResources + l*cfg.PadVCPUs + cfg.QueueDepth*NumResources + aggDim(cfg)
 }
 
 // StateDim returns the environment's observation length.
@@ -25,14 +47,27 @@ func (e *Env) StateDim() int { return StateDim(e.cfg) }
 //	                    federation caps MaxCPU / MaxMem; void VMs = −1.
 //	[L·d, L·d+L·U)      per-vCPU completion progress in (0,1]; idle = 0,
 //	                    void (vCPU or VM beyond this cluster) = −1.
-//	[L·d+L·U, end)      first Q queued tasks' normalized (CPU, Mem)
+//	[L·d+L·U, +Q·d)     first Q queued tasks' normalized (CPU, Mem)
 //	                    requests; empty queue slots = −1.
+//	[end−(2B+3), end)   aggregate block (scalable mode with UtilBuckets=B):
+//	                    cluster-wide CPU and memory utilization histograms,
+//	                    used-CPU and used-memory fractions, queue length
+//	                    squashed to [0,1).
+//
+// In ranked top-k mode (0 < TopK < len(VMs)) the L VM slots describe the
+// TopK best-fitting candidates for the head task (see Candidates), not
+// fixed VM indices; with TopK ≥ len(VMs) slot i is VM i and the encoding is
+// bit-identical to the per-VM observation with PadVMs = TopK.
 func (e *Env) Observe(dst []float64) []float64 {
 	dim := e.StateDim()
 	if cap(dst) < dim {
 		dst = make([]float64, dim)
 	}
 	dst = dst[:dim]
+	if e.ranked {
+		e.observeRanked(dst)
+		return dst
+	}
 
 	// Start from the precomputed prototype: every void marker, idle-vCPU
 	// zero, and empty-queue slot is already in place, so the loops below
@@ -40,6 +75,7 @@ func (e *Env) Observe(dst []float64) []float64 {
 	copy(dst, e.obsProto)
 
 	cfg := e.cfg
+	l := cfg.padSlots()
 	// S^VM: remaining capacities of the real VMs.
 	for i, vm := range e.vms {
 		dst[NumResources*i] = float64(vm.freeCPU) / float64(cfg.MaxCPU)
@@ -49,7 +85,7 @@ func (e *Env) Observe(dst []float64) []float64 {
 	// per-vCPU (owner, start, duration) arrays — no per-slot task lookups,
 	// and idle vCPUs keep the prototype's zero.
 	now := e.now
-	off := cfg.PadVMs * NumResources
+	off := l * NumResources
 	for _, vm := range e.vms {
 		for k, owner := range vm.vcpuOwner {
 			if owner == -1 {
@@ -64,7 +100,7 @@ func (e *Env) Observe(dst []float64) []float64 {
 		off += cfg.PadVCPUs
 	}
 	// S^Queue: requested resources of the visible queue prefix.
-	off = cfg.PadVMs*NumResources + cfg.PadVMs*cfg.PadVCPUs
+	off = l*NumResources + l*cfg.PadVCPUs
 	qlen := e.QueueLen()
 	if qlen > cfg.QueueDepth {
 		qlen = cfg.QueueDepth
@@ -75,33 +111,126 @@ func (e *Env) Observe(dst []float64) []float64 {
 		dst[off+1] = t.Mem / cfg.MaxMem
 		off += NumResources
 	}
+	if e.aggOn {
+		e.writeAgg(dst[dim-aggDim(cfg):])
+	}
 	return dst
+}
+
+// observeRanked writes the candidate-slot observation: the same three-part
+// layout, but VM slot s describes the s-th ranked feasible candidate for
+// the head task (void past the feasible prefix), followed by the optional
+// aggregate block.
+func (e *Env) observeRanked(dst []float64) {
+	cfg := e.cfg
+	k := cfg.TopK
+	cand := e.Candidates()
+	off := 0
+	for s := 0; s < k; s++ {
+		if vi := cand[s]; vi >= 0 {
+			vm := e.vms[vi]
+			dst[off] = float64(vm.freeCPU) / float64(cfg.MaxCPU)
+			dst[off+1] = vm.freeMem / cfg.MaxMem
+		} else {
+			dst[off], dst[off+1] = VoidMarker, VoidMarker
+		}
+		off += NumResources
+	}
+	now := e.now
+	for s := 0; s < k; s++ {
+		vi := cand[s]
+		if vi < 0 {
+			for u := 0; u < cfg.PadVCPUs; u++ {
+				dst[off+u] = VoidMarker
+			}
+			off += cfg.PadVCPUs
+			continue
+		}
+		vm := e.vms[vi]
+		for u, owner := range vm.vcpuOwner {
+			if owner == -1 {
+				dst[off+u] = 0
+				continue
+			}
+			p := float64(now-vm.vcpuStart[u]+1) / float64(vm.vcpuDur[u])
+			if p > 1 {
+				p = 1
+			}
+			dst[off+u] = p
+		}
+		for u := len(vm.vcpuOwner); u < cfg.PadVCPUs; u++ {
+			dst[off+u] = VoidMarker
+		}
+		off += cfg.PadVCPUs
+	}
+	qlen := e.QueueLen()
+	if qlen > cfg.QueueDepth {
+		qlen = cfg.QueueDepth
+	}
+	for q := 0; q < cfg.QueueDepth; q++ {
+		if q < qlen {
+			t := &e.queue[e.qhead+q]
+			dst[off] = float64(t.CPU) / float64(cfg.MaxCPU)
+			dst[off+1] = t.Mem / cfg.MaxMem
+		} else {
+			dst[off], dst[off+1] = VoidMarker, VoidMarker
+		}
+		off += NumResources
+	}
+	if e.aggOn {
+		e.writeAgg(dst[off:])
+	}
+}
+
+// writeAgg fills the 2B+3 aggregate block from the incrementally maintained
+// histograms and totals: per-bucket VM fractions by CPU then memory
+// utilization, cluster used-CPU and used-memory fractions, and the queue
+// length squashed by q/(q+32).
+func (e *Env) writeAgg(dst []float64) {
+	b := e.cfg.UtilBuckets
+	n := float64(len(e.vms))
+	for i := 0; i < b; i++ {
+		dst[i] = float64(e.histCPU[i]) / n
+	}
+	for i := 0; i < b; i++ {
+		dst[b+i] = float64(e.histMem[i]) / n
+	}
+	dst[2*b] = float64(e.usedCPU) / float64(e.capCPUTot)
+	dst[2*b+1] = e.usedMem / e.capMemTot
+	ql := float64(e.QueueLen())
+	dst[2*b+2] = ql / (ql + 32)
 }
 
 // buildObsProto precomputes the static part of the observation: void
 // markers for padded VM slots, padded vCPUs, and empty queue positions,
 // and zeros for idle-but-present vCPUs. Observe copies it into the output
 // buffer and overwrites only the dynamic positions. The prototype depends
-// solely on the configuration, so Reset reuses it.
+// solely on the configuration, so Reset reuses it. Ranked mode rewrites the
+// whole buffer per Observe (candidates move), so its prototype is unused.
 func (e *Env) buildObsProto() {
 	dim := e.StateDim()
 	if len(e.obsProto) == dim {
 		return
 	}
 	p := make([]float64, dim)
+	e.obsProto = p
+	if e.cfg.TopK > 0 && e.cfg.TopK < len(e.vms) {
+		return
+	}
 	cfg := e.cfg
+	l := cfg.padSlots()
 	off := 0
-	for i := 0; i < cfg.PadVMs; i++ {
+	for i := 0; i < l; i++ {
 		if i >= len(e.vms) {
 			p[off] = VoidMarker
 			p[off+1] = VoidMarker
 		}
 		off += NumResources
 	}
-	for i := 0; i < cfg.PadVMs; i++ {
+	for i := 0; i < l; i++ {
 		real := 0
 		if i < len(e.vms) {
-			real = e.vms[i].Spec.CPU
+			real = e.vms[i].capCPU
 		}
 		for k := real; k < cfg.PadVCPUs; k++ {
 			p[off+k] = VoidMarker
@@ -113,5 +242,4 @@ func (e *Env) buildObsProto() {
 		p[off+1] = VoidMarker
 		off += NumResources
 	}
-	e.obsProto = p
 }

@@ -45,7 +45,13 @@ type running struct {
 // together could sum their freed memory in either order and produce runs
 // that differ in the last bit.
 type VM struct {
-	Spec    VMSpec
+	Spec VMSpec
+	// Schedulable capacity after oversubscription: capCPU = ⌊CPU·ratio⌋
+	// vCPUs, capMem = Mem·ratio GiB. With ratio 1 these are exactly the
+	// Spec values (no float round trip), keeping the non-oversubscribed
+	// engine bit-identical.
+	capCPU  int
+	capMem  float64
 	freeCPU int
 	freeMem float64
 
@@ -70,24 +76,32 @@ type VM struct {
 
 func newVM(spec VMSpec) *VM {
 	v := &VM{}
-	v.reset(spec)
+	v.reset(spec, 1)
 	return v
 }
 
-// reset restores the VM to an empty machine with the given capacity,
-// reusing every internal buffer it already owns.
-func (v *VM) reset(spec VMSpec) {
+// reset restores the VM to an empty machine with the given capacity under
+// the given oversubscription ratio, reusing every internal buffer it
+// already owns.
+func (v *VM) reset(spec VMSpec, ratio float64) {
 	v.Spec = spec
-	v.freeCPU = spec.CPU
-	v.freeMem = spec.Mem
-	if cap(v.vcpuOwner) < spec.CPU {
-		v.vcpuOwner = make([]int, spec.CPU)
-		v.vcpuStart = make([]int, spec.CPU)
-		v.vcpuDur = make([]int, spec.CPU)
+	if ratio > 1 {
+		v.capCPU = oversubCPU(spec.CPU, ratio)
+		v.capMem = spec.Mem * ratio
+	} else {
+		v.capCPU = spec.CPU
+		v.capMem = spec.Mem
 	}
-	v.vcpuOwner = v.vcpuOwner[:spec.CPU]
-	v.vcpuStart = v.vcpuStart[:spec.CPU]
-	v.vcpuDur = v.vcpuDur[:spec.CPU]
+	v.freeCPU = v.capCPU
+	v.freeMem = v.capMem
+	if cap(v.vcpuOwner) < v.capCPU {
+		v.vcpuOwner = make([]int, v.capCPU)
+		v.vcpuStart = make([]int, v.capCPU)
+		v.vcpuDur = make([]int, v.capCPU)
+	}
+	v.vcpuOwner = v.vcpuOwner[:v.capCPU]
+	v.vcpuStart = v.vcpuStart[:v.capCPU]
+	v.vcpuDur = v.vcpuDur[:v.capCPU]
 	for i := range v.vcpuOwner {
 		v.vcpuOwner[i] = -1
 	}
@@ -105,15 +119,15 @@ func (v *VM) reset(spec VMSpec) {
 // Both are pure functions of the free counters, so the cached values are
 // bit-identical to computing them on demand.
 func (v *VM) refreshCache() {
-	if v.Spec.CPU == 0 {
+	if v.capCPU == 0 {
 		v.util[0] = 0
 	} else {
-		v.util[0] = float64(v.Spec.CPU-v.freeCPU) / float64(v.Spec.CPU)
+		v.util[0] = float64(v.capCPU-v.freeCPU) / float64(v.capCPU)
 	}
-	if v.Spec.Mem == 0 {
+	if v.capMem == 0 {
 		v.util[1] = 0
 	} else {
-		v.util[1] = (v.Spec.Mem - v.freeMem) / v.Spec.Mem
+		v.util[1] = (v.capMem - v.freeMem) / v.capMem
 	}
 	for i := 0; i < NumResources; i++ {
 		v.rem[i] = 1 - v.util[i]
@@ -125,6 +139,29 @@ func (v *VM) FreeCPU() int { return v.freeCPU }
 
 // FreeMem returns the currently unallocated memory in GiB.
 func (v *VM) FreeMem() float64 { return v.freeMem }
+
+// CapCPU returns the schedulable vCPU count (Spec.CPU scaled by the
+// oversubscription ratio).
+func (v *VM) CapCPU() int { return v.capCPU }
+
+// CapMem returns the schedulable memory in GiB (Spec.Mem scaled by the
+// oversubscription ratio).
+func (v *VM) CapMem() float64 { return v.capMem }
+
+// slowedDuration returns the effective runtime of a task requesting cpu
+// vCPUs for dur slots if placed on this VM now. While the VM's committed
+// vCPUs stay within the physical count the task runs at full speed; past
+// it, runtime stretches by the commit ratio (committed/physical after
+// placement), rounded up to whole slots — a simple proportional-sharing
+// slowdown frozen at placement time, which keeps the simulator
+// event-driven (finish slots never change after placement).
+func (v *VM) slowedDuration(cpu, dur int) int {
+	usedAfter := v.capCPU - v.freeCPU + cpu
+	if usedAfter <= v.Spec.CPU {
+		return dur
+	}
+	return (dur*usedAfter + v.Spec.CPU - 1) / v.Spec.CPU
+}
 
 // Fits reports whether the task's request fits in the VM's free resources.
 func (v *VM) Fits(t workload.Task) bool {

@@ -332,7 +332,7 @@ func BuildClients(alg Algorithm, cfg ExperimentConfig, data []ClientData) ([]*fe
 			envCfg.MaxSteps = cfg.EpisodeStepCap
 		}
 		dim := cloudsim.StateDim(envCfg)
-		actions := envCfg.PadVMs + 1
+		actions := cloudsim.NumActions(envCfg)
 		agentRng := rand.New(rand.NewSource(cfg.Seed + 104729*int64(i+1)))
 		var agent rl.Agent
 		if alg == AlgPFRLDM {

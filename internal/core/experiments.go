@@ -57,7 +57,7 @@ func RunIsoHeter(cfg ExperimentConfig) (*IsoHeterResult, error) {
 			envCfg.MaxSteps = cfg.EpisodeStepCap
 		}
 		dim := cloudsim.StateDim(envCfg)
-		actions := envCfg.PadVMs + 1
+		actions := cloudsim.NumActions(envCfg)
 		mixRng := rand.New(rand.NewSource(cfg.Seed + int64(i)*31 + 5))
 
 		// Same-size training budgets for a fair comparison.
@@ -422,7 +422,7 @@ func RunNewAgent(cfg ExperimentConfig, warmupEpisodes, joinEpisodes int) (*NewAg
 		envCfg.MaxSteps = cfg.EpisodeStepCap
 	}
 	dim := cloudsim.StateDim(envCfg)
-	actions := envCfg.PadVMs + 1
+	actions := cloudsim.NumActions(envCfg)
 
 	joiner := rl.NewDualCriticPPO(cfg.rlConfig(dim, actions),
 		rand.New(rand.NewSource(cfg.Seed+515151)))

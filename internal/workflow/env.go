@@ -151,13 +151,17 @@ func (e *Env) release(gid, now int) {
 	e.released[gid] = true
 	wi, si := e.gidToStage(gid)
 	s := e.wfs[wi].Stages[si]
-	e.inner.Inject(workload.Task{
+	if err := e.inner.Inject(workload.Task{
 		ID:       gid,
 		Arrival:  now,
 		CPU:      s.CPU,
 		Mem:      s.Mem,
 		Duration: s.Duration,
-	})
+	}); err != nil {
+		// Workflows are clamped to the cluster at construction, so a
+		// rejected stage is an internal invariant violation, not user input.
+		panic(err)
+	}
 }
 
 // --- rl.Environment ---

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+)
+
+// Stream generates the same task sequence as Model.Sample, one task at a
+// time, so thousand-VM / million-task episodes never materialize the full
+// workload. The generator holds only the current slot and the remainder of
+// the in-flight arrival batch (at most 64 tasks are ever pending), and its
+// RNG consumption order matches Sample exactly: for the same model, seed,
+// and n, the emitted tasks are bit-identical to Sample's slice (pinned by
+// TestStreamMatchesSample).
+type Stream struct {
+	m   *Model
+	rng *rand.Rand
+	n   int
+
+	produced  int
+	slot      int // next slot to draw an arrival batch for
+	batchSlot int // arrival slot of the in-flight batch
+	batchLeft int // tasks remaining in the in-flight batch
+}
+
+// Stream returns a lazy generator over n tasks drawn from the model. It
+// panics on an invalid model, like Sample.
+func (m *Model) Stream(rng *rand.Rand, n int) *Stream {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return &Stream{m: m, rng: rng, n: n}
+}
+
+// Remaining returns the number of tasks the stream will still emit.
+func (s *Stream) Remaining() int { return s.n - s.produced }
+
+// Next emits the next task, or false once n tasks have been produced.
+// Arrival slots are non-decreasing by construction.
+func (s *Stream) Next() (Task, bool) {
+	if s.produced >= s.n {
+		return Task{}, false
+	}
+	m := s.m
+	for s.batchLeft == 0 {
+		// Advance slots until an arrival batch materializes — the same
+		// per-slot draw order as Sample: one Float64 for the batch gate,
+		// then the geometric batch-size draws.
+		phase := 2 * math.Pi * float64(s.slot%m.DiurnalPeriod) / float64(m.DiurnalPeriod)
+		rate := m.RatePerSlot * (1 + m.DiurnalAmp*math.Sin(phase))
+		if rate < 0 {
+			rate = 0
+		}
+		pBatch := m.Burstiness * rate
+		if pBatch > 1 {
+			pBatch = 1
+		}
+		if s.rng.Float64() < pBatch {
+			batch := 1
+			for s.rng.Float64() > m.Burstiness && batch < 64 {
+				batch++
+			}
+			s.batchLeft = batch
+			s.batchSlot = s.slot
+		}
+		s.slot++
+	}
+	cpu := m.sampleCPU(s.rng)
+	t := Task{
+		ID:       s.produced,
+		Arrival:  s.batchSlot,
+		CPU:      cpu,
+		Mem:      m.sampleMem(s.rng, cpu),
+		Duration: m.sampleDuration(s.rng),
+		Source:   m.ID,
+	}
+	s.produced++
+	s.batchLeft--
+	return t, true
+}
+
+// CSVStream replays a trace in the ExportCSV format one task at a time, so
+// arbitrarily large traces can drive the simulator without loading them into
+// memory. Malformed records and arrival-order regressions stop the stream
+// deterministically: Next returns false and Err reports the problem, exactly
+// the rejections ImportCSV applies in batch (pinned by FuzzCSVStream).
+type CSVStream struct {
+	cr          *csv.Reader
+	line        int
+	lastArrival int
+	count       int
+	err         error
+	done        bool
+}
+
+// NewCSVStream validates the header and returns a streaming reader over r.
+func NewCSVStream(r io.Reader) (*CSVStream, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("workload: CSV has %d columns, want %d (%v)", len(header), len(csvHeader), csvHeader)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("workload: CSV column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	return &CSVStream{cr: cr, line: 1}, nil
+}
+
+// Next returns the next task in the trace, or false at EOF or on the first
+// malformed record (see Err).
+func (s *CSVStream) Next() (Task, bool) {
+	if s.done {
+		return Task{}, false
+	}
+	s.line++
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		s.done = true
+		return Task{}, false
+	}
+	if err != nil {
+		s.fail(fmt.Errorf("workload: CSV line %d: %w", s.line, err))
+		return Task{}, false
+	}
+	t, err := parseCSVTask(rec)
+	if err != nil {
+		s.fail(fmt.Errorf("workload: CSV line %d: %w", s.line, err))
+		return Task{}, false
+	}
+	if s.count > 0 && t.Arrival < s.lastArrival {
+		s.fail(fmt.Errorf("workload: CSV arrivals not sorted at row %d", s.count))
+		return Task{}, false
+	}
+	s.lastArrival = t.Arrival
+	s.count++
+	return t, true
+}
+
+// Err returns the error that stopped the stream, or nil after a clean EOF.
+func (s *CSVStream) Err() error { return s.err }
+
+func (s *CSVStream) fail(err error) {
+	s.err = err
+	s.done = true
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestStreamMatchesSample pins the streaming generator to the materialized
+// sampler: same model, seed, and n must produce bit-identical tasks in the
+// same order (the RNG draw order is part of the contract).
+func TestStreamMatchesSample(t *testing.T) {
+	for _, id := range AllDatasets() {
+		m := Lookup(id)
+		for _, seed := range []int64{1, 7, 42} {
+			const n = 300
+			want := m.Sample(rand.New(rand.NewSource(seed)), n)
+			s := m.Stream(rand.New(rand.NewSource(seed)), n)
+			for i := 0; i < n; i++ {
+				got, ok := s.Next()
+				if !ok {
+					t.Fatalf("%v seed %d: stream ended at task %d of %d", id, seed, i, n)
+				}
+				if got != want[i] {
+					t.Fatalf("%v seed %d task %d: stream %+v vs sample %+v", id, seed, i, got, want[i])
+				}
+			}
+			if _, ok := s.Next(); ok {
+				t.Fatalf("%v seed %d: stream emitted more than %d tasks", id, seed, n)
+			}
+			if s.Remaining() != 0 {
+				t.Fatalf("%v seed %d: Remaining() = %d after exhaustion", id, seed, s.Remaining())
+			}
+		}
+	}
+}
+
+// TestCSVStreamRoundTrip pins the streaming CSV reader to the batch
+// importer on a valid trace.
+func TestCSVStreamRoundTrip(t *testing.T) {
+	tasks := Lookup(Google).Sample(rand.New(rand.NewSource(3)), 200)
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewCSVStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tasks {
+		got, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended at row %d of %d (err: %v)", i, len(tasks), s.Err())
+		}
+		if got != tasks[i] {
+			t.Fatalf("row %d: %+v vs %+v", i, got, tasks[i])
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream emitted rows past the trace")
+	}
+	if s.Err() != nil {
+		t.Fatalf("clean EOF reported error: %v", s.Err())
+	}
+}
+
+// TestCSVStreamRejections pins the deterministic failure modes: bad header,
+// malformed row, arrival regression.
+func TestCSVStreamRejections(t *testing.T) {
+	if _, err := NewCSVStream(strings.NewReader("wrong,header\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	cases := map[string]string{
+		"malformed-row":      "id,arrival,cpu,mem_gib,duration,source\nx,0,1,1,1,0\n",
+		"zero-duration":      "id,arrival,cpu,mem_gib,duration,source\n0,0,1,1,0,0\n",
+		"arrival-regression": "id,arrival,cpu,mem_gib,duration,source\n0,5,1,1,1,0\n1,2,1,1,1,0\n",
+	}
+	for name, trace := range cases {
+		t.Run(name, func(t *testing.T) {
+			s, err := NewCSVStream(strings.NewReader(trace))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				if _, ok := s.Next(); !ok {
+					break
+				}
+			}
+			if s.Err() == nil {
+				t.Fatal("invalid trace streamed without error")
+			}
+			// Stopped streams stay stopped.
+			if _, ok := s.Next(); ok {
+				t.Fatal("stream resumed after failure")
+			}
+		})
+	}
+}
+
+// FuzzCSVStream cross-checks the streaming CSV reader against ImportCSV on
+// arbitrary input: both must accept (with identical tasks) or both must
+// reject — the stream may simply stop earlier, at the first offending row.
+func FuzzCSVStream(f *testing.F) {
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, []Task{
+		{ID: 0, Arrival: 0, CPU: 2, Mem: 1.5, Duration: 3, Source: Google},
+		{ID: 1, Arrival: 4, CPU: 1, Mem: 0.5, Duration: 1, Source: Alibaba2017},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("id,arrival,cpu,mem_gib,duration,source\n0,5,1,1,1,0\n1,2,1,1,1,0\n")
+	f.Add("id,arrival,cpu,mem_gib,duration,source\nx,0,1,1,1,0\n")
+	f.Add("wrong,header\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		imported, impErr := ImportCSV(strings.NewReader(data))
+		s, err := NewCSVStream(strings.NewReader(data))
+		if err != nil {
+			if impErr == nil {
+				t.Fatalf("stream rejected header ImportCSV accepted: %v", err)
+			}
+			return
+		}
+		var tasks []Task
+		for {
+			task, ok := s.Next()
+			if !ok {
+				break
+			}
+			tasks = append(tasks, task)
+		}
+		if impErr == nil {
+			if s.Err() != nil {
+				t.Fatalf("ImportCSV accepted but stream errored: %v", s.Err())
+			}
+			if len(tasks) != len(imported) {
+				t.Fatalf("task counts differ: stream %d vs import %d", len(tasks), len(imported))
+			}
+			for i := range tasks {
+				if tasks[i] != imported[i] {
+					t.Fatalf("task %d differs: %+v vs %+v", i, tasks[i], imported[i])
+				}
+			}
+		} else if s.Err() == nil {
+			t.Fatalf("ImportCSV rejected (%v) but stream succeeded with %d tasks", impErr, len(tasks))
+		}
+	})
+}
