@@ -4,8 +4,9 @@
 #                     reachable), build, race-enabled tests (incl. the
 #                     federation fault-tolerance suite and the simulator
 #                     invariant harness), one iteration of each perf
-#                     microbenchmark, a 20-VM cluster-scale smoke, and a
-#                     /metrics endpoint smoke test
+#                     microbenchmark, a 20-VM cluster-scale smoke, a
+#                     /metrics endpoint smoke test, and a 16-client
+#                     async-federation chaos smoke
 #   make test       - plain test suite (tier-1 gate)
 #   make test-race  - federation layers + simulator invariants, race-enabled
 #   make fuzz-smoke - a short run of every fuzz target
@@ -16,9 +17,9 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci vet staticcheck build test race test-race fuzz-smoke bench bench-env bench-update perf scale scale-smoke metrics-smoke
+.PHONY: ci vet staticcheck build test race test-race fuzz-smoke bench bench-env bench-update perf scale scale-smoke metrics-smoke swarm-smoke
 
-ci: vet staticcheck build race test-race bench-smoke bench-env bench-update scale-smoke metrics-smoke
+ci: vet staticcheck build race test-race bench-smoke bench-env bench-update scale-smoke metrics-smoke swarm-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +38,13 @@ staticcheck:
 # gauges are exposed. Guards the Prometheus endpoint end to end.
 metrics-smoke:
 	./scripts/metrics_smoke.sh
+
+# A 16-client buffered-async swarm over loopback fednet with the fault
+# injector on: drops, duplicates, and corruptions all active, everything
+# seeded. Guards the asynchronous federation path end to end.
+swarm-smoke:
+	$(GO) run ./cmd/pfrl-node -mode swarm -clients 16 -rounds 2 -buffer 4 \
+		-staleness-bound 2 -seed 42 -fault-spec "drop=0.08,dup=0.08,corrupt=0.05"
 
 build:
 	$(GO) build ./...

@@ -47,7 +47,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pfrl-node: ")
 	var (
-		mode    = flag.String("mode", "demo", "server | client | demo")
+		mode    = flag.String("mode", "demo", "server | client | demo | swarm")
 		addr    = flag.String("addr", "127.0.0.1:0", "server address (server: bind; client: dial)")
 		clients = flag.Int("clients", 4, "server/demo: expected number of clients")
 		k       = flag.Int("k", 0, "participants per round (0 = N/2)")
@@ -67,6 +67,13 @@ func main() {
 			"client/demo: injected transport faults, e.g. drop=0.1,delay=0.05:20ms,dup=0.02,corrupt=0.01,seed=7")
 		rejoin = flag.Int("rejoin", -1,
 			"client: reclaim this client id after a restart instead of registering anew")
+		// Asynchronous-federation knobs.
+		async = flag.Bool("async", false,
+			"server/demo/swarm: buffered asynchronous aggregation instead of the round barrier")
+		stalenessBound = flag.Int("staleness-bound", -1,
+			"async: drop deltas staler than this many rounds (-1 = unbounded, 0 = fresh only)")
+		buffer = flag.Int("buffer", 0,
+			"async: commit an aggregation round every B accepted arrivals (0 = K)")
 		// Observability knobs.
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve Prometheus /metrics and /debug/pprof/ on this address (empty = disabled)")
@@ -103,13 +110,17 @@ func main() {
 		opts.Rejoin, opts.RejoinID = true, *rejoin
 	}
 
+	acfg := asyncConfig{on: *async, stalenessBound: *stalenessBound, buffer: *buffer}
+
 	switch *mode {
 	case "server":
-		err = runServer(*addr, *clients, *k, *seed, *roundTimeout)
+		err = runServer(*addr, *clients, *k, *seed, *roundTimeout, acfg)
 	case "client":
 		err = runClient(*addr, *dataset, *tasks, *rounds, *comm, *seed, opts, faults)
 	case "demo":
-		err = runDemo(*clients, *k, *rounds, *comm, *tasks, *seed, *roundTimeout, opts, faults)
+		err = runDemo(*clients, *k, *rounds, *comm, *tasks, *seed, *roundTimeout, opts, faults, acfg)
+	case "swarm":
+		err = runSwarm(*clients, *k, *rounds, *comm, *tasks, *seed, *stalenessBound, *buffer, *retries, faults)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -153,7 +164,14 @@ func buildLocal(spec core.ClientSpec, tasks int, seed int64) (*fed.Client, error
 	return fed.NewClient(int(seed), spec.Name, envCfg, ts, agent)
 }
 
-func runServer(addr string, clients, k int, seed int64, roundTimeout time.Duration) error {
+// asyncConfig carries the asynchronous-federation flags into each mode.
+type asyncConfig struct {
+	on             bool
+	stalenessBound int
+	buffer         int
+}
+
+func runServer(addr string, clients, k int, seed int64, roundTimeout time.Duration, acfg asyncConfig) error {
 	// The server needs ψ_G^(0) with the federation's network shape.
 	spec, err := specFor("google", seed)
 	if err != nil {
@@ -173,9 +191,12 @@ func runServer(addr string, clients, k int, seed int64, roundTimeout time.Durati
 	}
 	srv, err := fednet.NewServer(fednet.ServerConfig{
 		Clients: clients, K: k, Seed: seed,
-		InitialGlobal: initial,
-		Aggregator:    fed.NewAttention(seed),
-		RoundTimeout:  roundTimeout,
+		InitialGlobal:  initial,
+		Aggregator:     fed.NewAttention(seed),
+		RoundTimeout:   roundTimeout,
+		Async:          acfg.on,
+		StalenessBound: acfg.stalenessBound,
+		Buffer:         acfg.buffer,
 	})
 	if err != nil {
 		return err
@@ -184,8 +205,13 @@ func runServer(addr string, clients, k int, seed int64, roundTimeout time.Durati
 	if err != nil {
 		return err
 	}
-	fmt.Printf("aggregation server on %s (N=%d, K=%d, round-timeout=%v); Ctrl-C to stop\n",
-		bound, clients, k, roundTimeout)
+	if acfg.on {
+		fmt.Printf("async aggregation server on %s (N=%d, K=%d, staleness-bound=%d, buffer=%d); Ctrl-C to stop\n",
+			bound, clients, k, acfg.stalenessBound, acfg.buffer)
+	} else {
+		fmt.Printf("aggregation server on %s (N=%d, K=%d, round-timeout=%v); Ctrl-C to stop\n",
+			bound, clients, k, roundTimeout)
+	}
 	select {} // serve forever
 }
 
@@ -207,8 +233,12 @@ func runClient(addr, dataset string, tasks, rounds, comm int, seed int64, opts f
 	if opts.Rejoin {
 		verb = "rejoined"
 	}
-	fmt.Printf("client %d (%s) %s %s at round %d; training %d rounds x %d episodes\n",
-		rc.ID(), spec.Dataset, verb, addr, rc.Round(), rounds, comm)
+	regime := "barrier"
+	if rc.Async() {
+		regime = "async"
+	}
+	fmt.Printf("client %d (%s) %s %s [%s] at round %d; training %d rounds x %d episodes\n",
+		rc.ID(), spec.Dataset, verb, addr, regime, rc.Round(), rounds, comm)
 	if err := rc.RunRounds(rounds, comm); err != nil {
 		return err
 	}
@@ -236,7 +266,7 @@ func printStats(rc *fednet.RemoteClient) {
 		rc.ID(), st.Retries, st.Timeouts, st.Resyncs)
 }
 
-func runDemo(clients, k, rounds, comm, tasks int, seed int64, roundTimeout time.Duration, opts fednet.Options, faults fed.FaultSpec) error {
+func runDemo(clients, k, rounds, comm, tasks int, seed int64, roundTimeout time.Duration, opts fednet.Options, faults fed.FaultSpec, acfg asyncConfig) error {
 	specs := core.ScaleSpecs(core.Table3Specs(), 4)
 	if clients > len(specs) {
 		clients = len(specs)
@@ -255,9 +285,12 @@ func runDemo(clients, k, rounds, comm, tasks int, seed int64, roundTimeout time.
 	}
 	srv, err := fednet.NewServer(fednet.ServerConfig{
 		Clients: clients, K: k, Seed: seed,
-		InitialGlobal: initial,
-		Aggregator:    fed.NewAttention(seed),
-		RoundTimeout:  roundTimeout,
+		InitialGlobal:  initial,
+		Aggregator:     fed.NewAttention(seed),
+		RoundTimeout:   roundTimeout,
+		Async:          acfg.on,
+		StalenessBound: acfg.stalenessBound,
+		Buffer:         acfg.buffer,
 	})
 	if err != nil {
 		return err
@@ -267,8 +300,13 @@ func runDemo(clients, k, rounds, comm, tasks int, seed int64, roundTimeout time.
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("demo federation on %s: %d clients, K=%d, %d rounds x %d episodes, round-timeout=%v\n\n",
-		addr, clients, k, rounds, comm, roundTimeout)
+	if acfg.on {
+		fmt.Printf("async demo federation on %s: %d clients, K=%d, %d rounds x %d episodes, staleness-bound=%d, buffer=%d\n\n",
+			addr, clients, k, rounds, comm, acfg.stalenessBound, acfg.buffer)
+	} else {
+		fmt.Printf("demo federation on %s: %d clients, K=%d, %d rounds x %d episodes, round-timeout=%v\n\n",
+			addr, clients, k, rounds, comm, roundTimeout)
+	}
 
 	var wg sync.WaitGroup
 	locals := make([]*fed.Client, clients)
@@ -291,10 +329,10 @@ func runDemo(clients, k, rounds, comm, tasks int, seed int64, roundTimeout time.
 			return err
 		}
 		remotes[i] = rc
+		defer rc.Close()
 		wg.Add(1)
 		go func(i int, rc *fednet.RemoteClient) {
 			defer wg.Done()
-			defer rc.Close()
 			errs[i] = rc.RunRounds(rounds, comm)
 		}(i, rc)
 	}
@@ -302,6 +340,18 @@ func runDemo(clients, k, rounds, comm, tasks int, seed int64, roundTimeout time.
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("client %d: %w", i, err)
+		}
+	}
+	if acfg.on {
+		// Commit whatever is left in the buffer and let every client pull
+		// the final round before reporting.
+		if rep, ok := srv.Flush(); ok {
+			fmt.Printf("shutdown flush committed round %d with %d arrivals\n", rep.Round, rep.Arrived)
+		}
+		for _, rc := range remotes {
+			if _, err := rc.Fetch(); err != nil {
+				return fmt.Errorf("client %d final fetch: %w", rc.ID(), err)
+			}
 		}
 	}
 	fmt.Printf("server completed %d rounds; global model %d params\n", srv.Rounds(), len(srv.Global()))
@@ -316,6 +366,37 @@ func runDemo(clients, k, rounds, comm, tasks int, seed int64, roundTimeout time.
 		printStats(remotes[i])
 		printCurve(local)
 	}
+	return nil
+}
+
+// runSwarm drives the deterministic many-client async chaos harness: N
+// in-process heterogeneous clients over loopback fednet, fault injector on,
+// everything seeded. Same seed, same output.
+func runSwarm(clients, k, rounds, comm, tasks int, seed int64, stalenessBound, buffer, retries int, faults fed.FaultSpec) error {
+	res, err := fednet.RunSwarm(fednet.SwarmConfig{
+		Clients:        clients,
+		K:              k,
+		Buffer:         buffer,
+		StalenessBound: stalenessBound,
+		Rounds:         rounds,
+		CommEvery:      comm,
+		Tasks:          tasks,
+		Seed:           seed,
+		Faults:         faults,
+		Retries:        retries,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("swarm: %d clients committed %d async rounds (flushed=%v)\n",
+		clients, res.Rounds, res.Flushed)
+	fmt.Printf("  drops: %d stale, %d duplicate; client retries: %d\n",
+		res.StaleDrops, res.DupDrops, res.Retries)
+	if res.Faults.Total() > 0 {
+		fmt.Printf("  injected faults: %d drops, %d delays, %d duplicates, %d corruptions\n",
+			res.Faults.Drops, res.Faults.Delays, res.Faults.Duplicates, res.Faults.Corruptions)
+	}
+	fmt.Printf("  final mean reward: %.2f over %d params\n", res.MeanReward, len(res.Global))
 	return nil
 }
 

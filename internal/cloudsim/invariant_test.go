@@ -1,10 +1,12 @@
 package cloudsim
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/workload"
@@ -484,6 +486,67 @@ func (s *failingSource) Err() error {
 		return fmt.Errorf("backing store went away")
 	}
 	return nil
+}
+
+// TestCSVSourceMidStreamFailure drives an episode from a CSV trace whose
+// 11th row is invalid (malformed field or arrival regression): the ten good
+// rows must be admitted and placed exactly as from a fully-valid trace, and
+// the failure must surface deterministically via SourceErr — run twice, the
+// two episodes are identical.
+func TestCSVSourceMidStreamFailure(t *testing.T) {
+	specs := []VMSpec{{CPU: 8, Mem: 16}, {CPU: 8, Mem: 16}}
+	good := ClampTasks(workload.Lookup(workload.Google).Sample(rand.New(rand.NewSource(21)), 10), specs)
+	var buf bytes.Buffer
+	if err := workload.ExportCSV(&buf, good); err != nil {
+		t.Fatal(err)
+	}
+	prefix := buf.String()
+	lastArrival := good[len(good)-1].Arrival
+	cases := map[string]string{
+		"malformed-row": "x,bogus,1,1,1,0\n",
+		"out-of-order":  fmt.Sprintf("10,%d,1,1,1,0\n", lastArrival-1),
+	}
+	for name, bad := range cases {
+		t.Run(name, func(t *testing.T) {
+			run := func() ([]TaskRecord, error) {
+				src, err := NewCSVSource(strings.NewReader(prefix + bad))
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := DefaultConfig(specs)
+				cfg.MaxSteps = 500
+				env, err := NewEnvSource(cfg, src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for !env.Done() {
+					env.Step(FirstFit{}.SelectAction(env))
+					checkStepInvariants(t, env)
+				}
+				env.Drain()
+				return append([]TaskRecord(nil), env.Records()...), env.SourceErr()
+			}
+			recs, srcErr := run()
+			if srcErr == nil {
+				t.Fatal("mid-stream CSV failure not surfaced via SourceErr")
+			}
+			if len(recs) != len(good) {
+				t.Fatalf("placed %d tasks, want the %d valid pre-failure rows", len(recs), len(good))
+			}
+			recs2, srcErr2 := run()
+			if srcErr2 == nil || srcErr2.Error() != srcErr.Error() {
+				t.Fatalf("shutdown not deterministic: %v vs %v", srcErr, srcErr2)
+			}
+			if len(recs2) != len(recs) {
+				t.Fatalf("record counts differ across runs: %d vs %d", len(recs2), len(recs))
+			}
+			for i := range recs {
+				if recs[i] != recs2[i] {
+					t.Fatalf("record %d differs across runs: %+v vs %+v", i, recs[i], recs2[i])
+				}
+			}
+		})
+	}
 }
 
 func TestSourceErrPropagates(t *testing.T) {

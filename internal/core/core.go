@@ -226,6 +226,16 @@ type ExperimentConfig struct {
 	// fault injector (fed.FaultyTransport) — the chaos-testing knob for
 	// robustness experiments. Ignored by AlgPPO (no transport).
 	Faults fed.FaultSpec
+	// Async switches the federation to buffered asynchronous aggregation
+	// with staleness-weighted mixing (fedcore.AsyncEngine). Ignored by
+	// AlgPPO (no federation).
+	Async bool
+	// StalenessBound caps accepted staleness in async mode (negative =
+	// unbounded, zero = fresh only — with Buffer = K this degrades to the
+	// sync engine bit-identically).
+	StalenessBound int
+	// Buffer is the async commit trigger B; <= 0 resolves to K.
+	Buffer int
 }
 
 // DefaultExperiment returns the scaled-down counterpart of the paper's main
@@ -399,6 +409,7 @@ func Train(alg Algorithm, cfg ExperimentConfig) (*TrainResult, error) {
 	}
 	f, err := fed.New(clients, transport, agg, fed.Options{
 		K: k, CommEvery: cfg.CommEvery, Seed: cfg.Seed, Parallel: cfg.Parallel,
+		Async: cfg.Async, StalenessBound: cfg.StalenessBound, Buffer: cfg.Buffer,
 	})
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/fedcore"
+	"repro/internal/obs"
 )
 
 // RoundReport is the engine's per-round participation record — the
@@ -27,6 +28,11 @@ type Federation struct {
 	// Engine is the shared round state machine; the networked fednet.Server
 	// wraps the same type, which is what keeps the two paths bit-identical.
 	Engine *fedcore.Engine
+
+	// Async is the buffered asynchronous submission front-end when the
+	// federation runs in async mode (Options.Async), nil in sync mode. In
+	// async mode Engine is Async.Engine().
+	Async *fedcore.AsyncEngine
 
 	// K is the number of clients that participate in each aggregation
 	// (K ≤ N; the paper uses K = N/2 for PFRL-DM), as resolved by the
@@ -52,6 +58,16 @@ type Federation struct {
 	Reports []RoundReport
 
 	comm CommStats
+
+	// Async-mode bookkeeping: per-client monotone submission counters (the
+	// dedup key), per-client base rounds (the round whose global each client
+	// last installed — the staleness anchor), the number of committed rounds
+	// (mirrors Engine.Round without locking inside deliveries), and the
+	// error a delivery callback surfaced.
+	clientSeq  []int
+	clientBase []int
+	committed  int
+	deliverErr error
 }
 
 // Options configures New.
@@ -60,6 +76,18 @@ type Options struct {
 	CommEvery int
 	Seed      int64
 	Parallel  bool
+
+	// Async switches the federation to buffered asynchronous aggregation:
+	// selected clients' deltas are submitted to a fedcore.AsyncEngine with
+	// staleness-weighted mixing, and commits fire every Buffer arrivals
+	// instead of at the segment barrier.
+	Async bool
+	// StalenessBound caps accepted staleness in async mode (negative =
+	// unbounded). Zero accepts only fresh deltas — with Buffer = K this
+	// degrades to the sync engine bit-identically.
+	StalenessBound int
+	// Buffer is the async commit trigger B; <= 0 resolves to K.
+	Buffer int
 }
 
 // New assembles a federation and synchronizes all clients with the initial
@@ -78,24 +106,40 @@ func New(clients []*Client, transport Transport, agg Aggregator, opts Options) (
 	if err != nil {
 		return nil, fmt.Errorf("fed: initial upload from client %d: %w", clients[0].ID, err)
 	}
-	engine, err := fedcore.New(agg, initial, fedcore.Options{
+	coreOpts := fedcore.Options{
 		K:       opts.K,
 		Clients: len(clients),
 		Seed:    opts.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fed: %w", err)
 	}
 	f := &Federation{
 		Clients:   clients,
 		Transport: transport,
 		Agg:       agg,
-		Engine:    engine,
-		K:         engine.K(),
 		CommEvery: commEvery,
 		Parallel:  opts.Parallel,
-		Global:    engine.Global(),
 	}
+	if opts.Async {
+		async, err := fedcore.NewAsync(agg, initial, fedcore.AsyncOptions{
+			Options:        coreOpts,
+			StalenessBound: opts.StalenessBound,
+			Buffer:         opts.Buffer,
+		}, f.deliverCommit)
+		if err != nil {
+			return nil, fmt.Errorf("fed: %w", err)
+		}
+		f.Async = async
+		f.Engine = async.Engine()
+		f.clientSeq = make([]int, len(clients))
+		f.clientBase = make([]int, len(clients))
+	} else {
+		engine, err := fedcore.New(agg, initial, coreOpts)
+		if err != nil {
+			return nil, fmt.Errorf("fed: %w", err)
+		}
+		f.Engine = engine
+	}
+	f.K = f.Engine.K()
+	f.Global = f.Engine.Global()
 	for _, c := range clients {
 		if err := transport.Download(c, f.Global); err != nil {
 			return nil, fmt.Errorf("fed: initial sync to client %d: %w", c.ID, err)
@@ -138,6 +182,9 @@ func (f *Federation) trainSegment(episodes int) {
 // error is reported after the round commits (the aggregation itself already
 // happened).
 func (f *Federation) RunRound() error {
+	if f.Async != nil {
+		return f.runRoundAsync()
+	}
 	f.trainSegment(f.CommEvery)
 
 	all := make([]int, len(f.Clients))
@@ -146,12 +193,12 @@ func (f *Federation) RunRound() error {
 	}
 	selected := f.Engine.Select(all)
 	stats := fedcore.RoundStats{Expected: len(f.Clients), Selected: len(selected)}
-	var commDur time.Duration
+	var uploadDur time.Duration
 	var contribs []fedcore.Contribution
 	for _, idx := range selected {
 		callStart := time.Now()
 		u, err := f.Transport.Upload(f.Clients[idx])
-		commDur += time.Since(callStart)
+		uploadDur += time.Since(callStart)
 		switch {
 		case errors.Is(err, ErrInjectedFault):
 			stats.UploadDrops++
@@ -164,37 +211,100 @@ func (f *Federation) RunRound() error {
 	}
 	stats.Arrived = len(contribs)
 
-	var deliverErr error
+	f.deliverErr = nil
 	f.Engine.CompleteRound(contribs, stats, func(personalized map[int]fedcore.Payload, global fedcore.Payload) (int, time.Duration) {
-		drops := 0
-		for idx, c := range f.Clients {
-			c.CriticLossPre = append(c.CriticLossPre, c.probeCriticLoss())
-			payload, ok := personalized[idx]
-			if !ok {
-				payload = global
-			}
-			callStart := time.Now()
-			err := f.Transport.Download(c, payload)
-			commDur += time.Since(callStart)
-			switch {
-			case errors.Is(err, ErrInjectedFault):
-				drops++
-			case err != nil:
-				deliverErr = fmt.Errorf("fed: round %d download to client %d: %w", f.Rounds, c.ID, err)
-				return drops, commDur
-			default:
-				f.comm.DownloadScalars += int64(len(payload))
-			}
-			c.CriticLossPost = append(c.CriticLossPost, c.probeCriticLoss())
-		}
-		return drops, commDur
+		drops, dlDur := f.deliverCommit(personalized, global)
+		return drops, uploadDur + dlDur
 	})
 
+	f.syncMirrors()
+	return f.deliverErr
+}
+
+// runRoundAsync is the async-mode round body: a local-training segment
+// followed by staleness-weighted submissions from the K selected clients.
+// Selection still runs per segment on the engine's RNG (the same stream the
+// sync path consumes — part of the degradation pin), but commits fire inside
+// Submit whenever the engine's buffer reaches B accepted arrivals, so one
+// segment may commit zero rounds (after upload drops) or the buffer may
+// carry arrivals across segments when B ≠ K.
+func (f *Federation) runRoundAsync() error {
+	f.trainSegment(f.CommEvery)
+
+	all := make([]int, len(f.Clients))
+	for i := range all {
+		all[i] = i
+	}
+	selected := f.Engine.Select(all)
+	f.deliverErr = nil
+	for _, idx := range selected {
+		callStart := time.Now()
+		u, err := f.Transport.Upload(f.Clients[idx])
+		obs.GlobalTimers().Add(obs.PhaseComm, time.Since(callStart))
+		switch {
+		case errors.Is(err, ErrInjectedFault):
+			f.Async.AbsorbUploadDrops(1)
+			continue
+		case err != nil:
+			return fmt.Errorf("fed: round %d upload from client %d: %w", f.Rounds, f.Clients[idx].ID, err)
+		}
+		f.comm.UploadScalars += int64(len(u))
+		f.clientSeq[idx]++
+		// A length-mismatch reject (ErrBadUpload) is already counted by the
+		// engine; the client simply sits this round out.
+		_, _ = f.Async.Submit(idx, f.clientSeq[idx], f.clientBase[idx], u)
+		if f.deliverErr != nil {
+			break
+		}
+	}
+	f.syncMirrors()
+	return f.deliverErr
+}
+
+// deliverCommit distributes one committed round's results: participants
+// receive their personalized payloads, everyone else the new global. It is
+// the Delivery callback for both modes (the sync path wraps it to fold
+// upload time into the round's comm duration) and runs under the engine
+// locks, so it must not call back into the engine — the committed-round
+// counter mirrors Engine.Round for that reason.
+func (f *Federation) deliverCommit(personalized map[int]fedcore.Payload, global fedcore.Payload) (int, time.Duration) {
+	f.committed++
+	drops := 0
+	var commDur time.Duration
+	for idx, c := range f.Clients {
+		c.CriticLossPre = append(c.CriticLossPre, c.probeCriticLoss())
+		payload, ok := personalized[idx]
+		if !ok {
+			payload = global
+		}
+		callStart := time.Now()
+		err := f.Transport.Download(c, payload)
+		commDur += time.Since(callStart)
+		switch {
+		case errors.Is(err, ErrInjectedFault):
+			drops++
+		case err != nil:
+			f.deliverErr = fmt.Errorf("fed: round %d download to client %d: %w", f.committed-1, c.ID, err)
+			return drops, commDur
+		default:
+			f.comm.DownloadScalars += int64(len(payload))
+			if f.clientBase != nil {
+				// The client installed this commit's global: its next delta
+				// is fresh relative to round f.committed.
+				f.clientBase[idx] = f.committed
+			}
+		}
+		c.CriticLossPost = append(c.CriticLossPost, c.probeCriticLoss())
+	}
+	return drops, commDur
+}
+
+// syncMirrors refreshes the exported engine mirrors after rounds commit.
+func (f *Federation) syncMirrors() {
 	f.Global = f.Engine.Global()
 	f.Rounds = f.Engine.Round()
 	f.Reports = f.Engine.Reports()
 	f.comm.Rounds = f.Rounds
-	return deliverErr
 }
 
 // RunEpisodes trains for the given number of episodes per client,
@@ -212,6 +322,16 @@ func (f *Federation) RunEpisodes(episodes int) error {
 	if rem := episodes % f.CommEvery; rem > 0 {
 		f.trainSegment(rem)
 	}
+	// Async mode: commit any trailing partial buffer so deltas submitted
+	// after the last full commit are not lost. A no-op (preserving the sync
+	// degradation pin) when every segment's submissions committed exactly.
+	if f.Async != nil {
+		f.deliverErr = nil
+		if _, ok := f.Async.Flush(); ok {
+			f.syncMirrors()
+		}
+		return f.deliverErr
+	}
 	return nil
 }
 
@@ -219,11 +339,21 @@ func (f *Federation) RunEpisodes(episodes int) error {
 // initializing it under the engine's late-join policy — the same rule a
 // fednet joiner or resyncing straggler gets: the current global payload.
 func (f *Federation) AddClient(c *Client) error {
-	_, global := f.Engine.Join()
+	var round int
+	var global Payload
+	if f.Async != nil {
+		round, global = f.Async.Join(len(f.Clients))
+	} else {
+		round, global = f.Engine.Join()
+	}
 	if err := f.Transport.Download(c, global); err != nil {
 		return fmt.Errorf("fed: joining client %d: %w", c.ID, err)
 	}
 	f.Clients = append(f.Clients, c)
+	if f.Async != nil {
+		f.clientSeq = append(f.clientSeq, 0)
+		f.clientBase = append(f.clientBase, round)
+	}
 	return nil
 }
 

@@ -101,6 +101,12 @@ type RoundReport struct {
 	// DownloadDrops counts deliveries lost to transient transport faults; a
 	// dropped download leaves that client on its previous parameters.
 	DownloadDrops int
+	// StaleDrops counts async submissions dropped for exceeding the
+	// staleness bound since the previous commit. Always zero on sync rounds.
+	StaleDrops int
+	// DupDrops counts async submissions dropped as (client, seq) duplicates
+	// since the previous commit. Always zero on sync rounds.
+	DupDrops int
 	// TimedOut marks rounds closed by a deadline instead of a full barrier.
 	TimedOut bool
 }
@@ -113,6 +119,8 @@ type RoundStats struct {
 	Selected    int
 	Arrived     int
 	UploadDrops int
+	StaleDrops  int
+	DupDrops    int
 	TimedOut    bool
 }
 
@@ -287,6 +295,8 @@ func (e *Engine) CompleteRound(contribs []Contribution, stats RoundStats, delive
 		Arrived:      stats.Arrived,
 		Participants: len(uploads),
 		UploadDrops:  uploadDrops,
+		StaleDrops:   stats.StaleDrops,
+		DupDrops:     stats.DupDrops,
 		TimedOut:     stats.TimedOut,
 	}
 	e.round++
@@ -316,6 +326,8 @@ func (e *Engine) CompleteRound(contribs []Contribution, stats RoundStats, delive
 			F("participants", float64(report.Participants)).
 			F("upload_drops", float64(report.UploadDrops)).
 			F("download_drops", float64(report.DownloadDrops)).
+			F("stale_drops", float64(report.StaleDrops)).
+			F("dup_drops", float64(report.DupDrops)).
 			F("aggregate_seconds", aggDur.Seconds()).
 			F("comm_seconds", commDur.Seconds())
 		if report.TimedOut {

@@ -1,0 +1,292 @@
+package fednet
+
+import (
+	"errors"
+	"fmt"
+	"net/rpc"
+	"sync"
+	"testing"
+
+	"repro/internal/fed"
+)
+
+// startAsyncServer boots an async-mode server (staleness unbounded unless
+// bound given) and returns it with its address.
+func startAsyncServer(t *testing.T, n, k, bound, buffer int, agg fed.Aggregator, initial fed.Payload) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Clients: n, K: k, Seed: 42, InitialGlobal: initial, Aggregator: agg,
+		Async: true, StalenessBound: bound, Buffer: buffer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, addr
+}
+
+// rawJoin registers a bare RPC connection as the next client slot.
+func rawJoin(t *testing.T, conn *rpc.Client) JoinReply {
+	t.Helper()
+	var reply JoinReply
+	if err := conn.Call("Federation.Join", JoinArgs{Name: "raw"}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+// TestAsyncServerDedupesRetransmits pins the (client, seq) dedup at the RPC
+// layer: a duplicated Sync — the wire-level retransmit a client sends after
+// a lost reply — must be answered idempotently and must not re-mix the
+// delta into the aggregate.
+func TestAsyncServerDedupesRetransmits(t *testing.T) {
+	initial := fed.Payload{0, 0}
+	srv, addr := startAsyncServer(t, 2, 2, -1, 2, fed.FedAvg{}, initial)
+
+	conns := make([]*rpc.Client, 2)
+	for i := range conns {
+		conn, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if reply := rawJoin(t, conn); !reply.Async {
+			t.Fatal("join did not report async mode")
+		}
+		conns[i] = conn
+	}
+
+	// Client 0 submits seq 1, then retransmits it (duplicated/delayed ACK).
+	var first, dup SyncReply
+	args := SyncArgs{ClientID: 0, Round: 1, Base: 0, Upload: fed.Payload{2, 4}}
+	if err := conns[0].Call("Federation.Sync", args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := conns[0].Call("Federation.Sync", args, &dup); err != nil {
+		t.Fatalf("retransmit errored instead of being answered idempotently: %v", err)
+	}
+
+	// Client 1's submission fills the 2-buffer and commits. If the
+	// retransmit had been buffered, the commit would have fired early with
+	// two copies of client 0's delta.
+	var reply SyncReply
+	if err := conns[1].Call("Federation.Sync",
+		SyncArgs{ClientID: 1, Round: 1, Base: 0, Upload: fed.Payload{4, 8}}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Global(); got[0] != 3 || got[1] != 6 {
+		t.Fatalf("global %v, want the dedup'd mean [3 6]", got)
+	}
+	reports := srv.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("%d rounds committed, want 1", len(reports))
+	}
+	rep := reports[0]
+	if rep.Arrived != 2 || rep.Participants != 2 || rep.DupDrops != 1 {
+		t.Fatalf("commit report %+v, want 2 arrivals and 1 dup drop", rep)
+	}
+}
+
+// dropOnceDownload fails the first Download after being armed, forcing the
+// real client retry path to retransmit its Sync with the same sequence
+// number. It stays disarmed through Dial so the join-time install succeeds.
+type dropOnceDownload struct {
+	fed.Transport
+	mu    sync.Mutex
+	armed bool
+	left  int
+}
+
+func (d *dropOnceDownload) arm(n int) {
+	d.mu.Lock()
+	d.armed, d.left = true, n
+	d.mu.Unlock()
+}
+
+func (d *dropOnceDownload) Download(c *fed.Client, p fed.Payload) error {
+	d.mu.Lock()
+	drop := d.armed && d.left > 0
+	if drop {
+		d.left--
+	}
+	d.mu.Unlock()
+	if drop {
+		return fmt.Errorf("%w: download dropped (test)", fed.ErrInjectedFault)
+	}
+	return d.Transport.Download(c, p)
+}
+
+// TestAsyncClientRetryIsIdempotent drives the dedup through the real client
+// retry machinery: client 0's first Sync succeeds server-side but the local
+// install fails (a lost reply, injected via the fault-transport error), so
+// syncRound retries the whole exchange — same seq — and the server must
+// answer without double-applying the delta.
+func TestAsyncClientRetryIsIdempotent(t *testing.T) {
+	transport := fed.PublicCriticTransport{}
+	locals := []*fed.Client{newLocalClient(t, 0, 5), newLocalClient(t, 1, 6)}
+	initial := mustUpload(t, transport, locals[0])
+	srv, addr := startAsyncServer(t, 2, 2, -1, 2, fed.FedAvg{}, initial)
+
+	faulty := &dropOnceDownload{Transport: transport}
+	rc0, err := DialOptions(addr, locals[0], faulty, Options{Retries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc0.Close()
+	faulty.arm(1)
+	rc1, err := Dial(addr, locals[1], transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc1.Close()
+
+	// rc0's exchange: Sync accepted (buffered), Download fails, retry
+	// resends seq 1 → duplicate → idempotent reply → install succeeds.
+	if err := rc0.RunRounds(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if rc0.Stats().Retries != 1 {
+		t.Fatalf("retries %d, want exactly 1", rc0.Stats().Retries)
+	}
+	// rc1 fills the buffer and commits.
+	if err := rc1.RunRounds(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	reports := srv.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("%d rounds committed, want 1 (the retransmit must not advance the buffer)", len(reports))
+	}
+	if rep := reports[0]; rep.Arrived != 2 || rep.DupDrops != 1 {
+		t.Fatalf("commit report %+v, want 2 arrivals and 1 dup drop", rep)
+	}
+}
+
+// TestAsyncFetchDeliversCommittedResults pins the pull half of the async
+// protocol: a client that submitted before a commit collects its committed
+// personalized payload via Fetch on its next contact, exactly once.
+func TestAsyncFetchDeliversCommittedResults(t *testing.T) {
+	initial := fed.Payload{0, 0}
+	srv, addr := startAsyncServer(t, 2, 2, -1, 2, fed.FedAvg{}, initial)
+
+	conns := make([]*rpc.Client, 2)
+	for i := range conns {
+		conn, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		rawJoin(t, conn)
+		conns[i] = conn
+	}
+
+	var r0, r1 SyncReply
+	if err := conns[0].Call("Federation.Sync",
+		SyncArgs{ClientID: 0, Round: 1, Base: 0, Upload: fed.Payload{2, 4}}, &r0); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-commit reply: current global, round still 0.
+	if r0.Participant || r0.Round != 0 {
+		t.Fatalf("pre-commit reply %+v", r0)
+	}
+	if err := conns[1].Call("Federation.Sync",
+		SyncArgs{ClientID: 1, Round: 1, Base: 0, Upload: fed.Payload{4, 8}}, &r1); err != nil {
+		t.Fatal(err)
+	}
+	// Trigger client: personalized payload in the reply, round advanced.
+	if !r1.Participant || r1.Round != 1 {
+		t.Fatalf("trigger reply %+v", r1)
+	}
+
+	// Client 0 fetches its retained personalized payload.
+	var f0 FetchReply
+	if err := conns[0].Call("Federation.Fetch", FetchArgs{ClientID: 0, Base: 0}, &f0); err != nil {
+		t.Fatal(err)
+	}
+	if !f0.Has || !f0.Participant || f0.Round != 1 {
+		t.Fatalf("fetch reply %+v, want retained personalized payload", f0)
+	}
+	// A second fetch from the advanced base: nothing new.
+	var f1 FetchReply
+	if err := conns[0].Call("Federation.Fetch", FetchArgs{ClientID: 0, Base: f0.Round}, &f1); err != nil {
+		t.Fatal(err)
+	}
+	if f1.Has {
+		t.Fatalf("fetch after install returned new state: %+v", f1)
+	}
+	_ = srv
+}
+
+// TestAsyncStaleSubmissionDropped pins the staleness cap end to end over
+// RPC: with bound 0, a delta based two rounds back is dropped into the next
+// report, not mixed.
+func TestAsyncStaleSubmissionDropped(t *testing.T) {
+	initial := fed.Payload{0}
+	srv, addr := startAsyncServer(t, 2, 2, 0, 1, fed.FedAvg{}, initial)
+
+	conns := make([]*rpc.Client, 2)
+	for i := range conns {
+		conn, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		rawJoin(t, conn)
+		conns[i] = conn
+	}
+
+	var reply SyncReply
+	// Client 0 commits rounds 1 and 2 (buffer 1: every accepted submission
+	// commits).
+	if err := conns[0].Call("Federation.Sync",
+		SyncArgs{ClientID: 0, Round: 1, Base: 0, Upload: fed.Payload{1}}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if err := conns[0].Call("Federation.Sync",
+		SyncArgs{ClientID: 0, Round: 2, Base: 1, Upload: fed.Payload{2}}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	// Client 1 is still on base 0: two rounds stale, dropped under bound 0.
+	if err := conns[1].Call("Federation.Sync",
+		SyncArgs{ClientID: 1, Round: 1, Base: 0, Upload: fed.Payload{9}}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if g := srv.Global(); g[0] != 2 {
+		t.Fatalf("stale delta leaked into the global: %v", g)
+	}
+	// The drop surfaces in the next committed report.
+	if err := conns[0].Call("Federation.Sync",
+		SyncArgs{ClientID: 0, Round: 3, Base: 2, Upload: fed.Payload{3}}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	reports := srv.Reports()
+	if last := reports[len(reports)-1]; last.StaleDrops != 1 {
+		t.Fatalf("stale drop not reported: %+v", last)
+	}
+}
+
+// TestFetchRejectedOnSyncServer pins the protocol boundary: Fetch is an
+// async-only RPC.
+func TestFetchRejectedOnSyncServer(t *testing.T) {
+	transport := fed.PublicCriticTransport{}
+	local := newLocalClient(t, 0, 9)
+	initial := mustUpload(t, transport, local)
+	_, addr := startServer(t, 1, 1, fed.FedAvg{}, initial)
+	conn, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rawJoin(t, conn)
+	var reply FetchReply
+	if err := conn.Call("Federation.Fetch", FetchArgs{ClientID: 0}, &reply); err == nil {
+		t.Fatal("sync server accepted an async Fetch")
+	}
+	var srvErr rpc.ServerError
+	if cerr := conn.Call("Federation.Fetch", FetchArgs{ClientID: 0}, &reply); !errors.As(cerr, &srvErr) {
+		t.Fatalf("unexpected error shape: %v", cerr)
+	}
+}

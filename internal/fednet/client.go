@@ -63,7 +63,9 @@ type RemoteClient struct {
 	addr  string
 	opts  Options
 	id    int
-	round int // the server round this client will sync next
+	round int // sync mode: next server round; async mode: local submission seq
+	async bool
+	base  int // async mode: the server round whose global we last installed
 	rpc   *rpc.Client
 	rng   *rand.Rand
 	stats ClientStats
@@ -106,7 +108,15 @@ func DialOptions(addr string, local *fed.Client, transport fed.Transport, opts O
 		return nil, fmt.Errorf("fednet: install initial global: %w", err)
 	}
 	c.id = reply.ClientID
-	c.round = reply.Round
+	if reply.Async {
+		// Async protocol: c.round becomes the local submission sequence
+		// (monotone, never adopted from the server), and c.base tracks the
+		// round whose global we installed — the staleness anchor.
+		c.async = true
+		c.base = reply.Round
+	} else {
+		c.round = reply.Round
+	}
 	return c, nil
 }
 
@@ -199,12 +209,19 @@ func (c *RemoteClient) backoff(n int) {
 }
 
 // RunRounds performs the given number of (train-segment, sync) rounds:
-// commEvery local episodes, then one blocking Sync exchanging only the
-// transport payload. A round the server closed without us counts as done:
-// the client adopts the current global model and moves on, matching the
-// partial-participation regime.
+// commEvery local episodes, then one Sync exchanging only the transport
+// payload — blocking on the barrier in sync mode, returning immediately in
+// async mode. A sync-mode round the server closed without us counts as
+// done: the client adopts the current global model and moves on, matching
+// the partial-participation regime. In async mode each segment starts with
+// a Fetch, installing whatever the fleet committed while we trained.
 func (c *RemoteClient) RunRounds(rounds, commEvery int) error {
 	for r := 0; r < rounds; r++ {
+		if c.async {
+			if _, err := c.Fetch(); err != nil {
+				return fmt.Errorf("fednet: fetch before round %d: %w", c.round, err)
+			}
+		}
 		c.Local.TrainEpisodes(commEvery)
 		if err := c.syncRound(); err != nil {
 			return fmt.Errorf("fednet: sync round %d: %w", c.round, err)
@@ -243,7 +260,12 @@ func (c *RemoteClient) syncRound() error {
 	}
 }
 
-// syncOnce is a single upload→barrier→download attempt.
+// syncOnce is a single upload→exchange→download attempt. In sync mode the
+// exchange blocks on the server's round barrier; in async mode it returns
+// immediately with whatever payload the server has for us. Either way
+// c.round only advances on full success, so a retry resends the same round
+// (sync: the barrier check; async: the dedup seq — the server answers a
+// retransmit idempotently).
 func (c *RemoteClient) syncOnce() error {
 	upload, err := c.Transport.Upload(c.Local)
 	if err != nil {
@@ -251,6 +273,9 @@ func (c *RemoteClient) syncOnce() error {
 	}
 	var reply SyncReply
 	args := SyncArgs{ClientID: c.id, Round: c.round, Upload: upload}
+	if c.async {
+		args.Base = c.base
+	}
 	if err := c.call("Federation.Sync", args, &reply); err != nil {
 		return err
 	}
@@ -258,8 +283,57 @@ func (c *RemoteClient) syncOnce() error {
 		return err
 	}
 	c.round++
+	if c.async {
+		c.base = reply.Round
+	}
 	return nil
 }
+
+// Fetch pulls any model state committed since this client's last install —
+// the async protocol's second half (Async reports whether the server runs
+// async rounds). It installs the fetched payload and advances the staleness
+// base, returning whether anything new arrived. Transient failures retry
+// like syncRound; a retry after a successful install is idempotent (the
+// advanced base makes the server answer "nothing new").
+func (c *RemoteClient) Fetch() (bool, error) {
+	for attempt := 0; ; attempt++ {
+		var reply FetchReply
+		err := c.call("Federation.Fetch", FetchArgs{ClientID: c.id, Base: c.base}, &reply)
+		if err == nil {
+			if !reply.Has {
+				return false, nil
+			}
+			if derr := c.Transport.Download(c.Local, reply.Payload); derr != nil {
+				err = derr
+			} else {
+				c.base = reply.Round
+				return true, nil
+			}
+		}
+		retry, redial := retryable(err)
+		if !retry {
+			return false, err
+		}
+		if attempt >= c.opts.Retries {
+			return false, fmt.Errorf("fetch failed after %d attempts: %w", attempt+1, err)
+		}
+		c.stats.Retries++
+		c.noteRetry("fetch", attempt, err)
+		c.backoff(attempt)
+		if redial {
+			if rerr := c.reconnect(); rerr != nil {
+				continue
+			}
+		}
+	}
+}
+
+// Async reports whether the server runs asynchronous rounds.
+func (c *RemoteClient) Async() bool { return c.async }
+
+// Base returns the server round whose global this client last installed
+// (async mode — the staleness anchor).
+func (c *RemoteClient) Base() int { return c.base }
 
 // resync recovers from a missed round: fetch the server's current state
 // and install the global payload, leaving the round counter aligned with

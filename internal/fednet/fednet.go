@@ -66,25 +66,58 @@ type JoinArgs struct {
 	ClientID int
 }
 
-// JoinReply carries the assigned client id, the current global model, and
-// the server's current round (non-zero when rejoining mid-training).
+// JoinReply carries the assigned client id, the current global model, the
+// server's current round (non-zero when rejoining mid-training), and whether
+// the server runs asynchronous rounds (which switches the client's Sync
+// semantics — see SyncArgs).
 type JoinReply struct {
 	ClientID int
 	Global   fed.Payload
 	Round    int
+	Async    bool
 }
 
 // SyncArgs submits one round's upload.
+//
+// In sync mode Round is the server round the client believes it is
+// submitting to (the barrier alignment check). In async mode there is no
+// barrier: Round is the client's monotone submission sequence number (the
+// engine's dedup key — a retransmit after a lost reply carries the same
+// value), and Base is the server round whose global the client last
+// installed (the staleness anchor).
 type SyncArgs struct {
 	ClientID int
 	Round    int
 	Upload   fed.Payload
+	Base     int
 }
 
-// SyncReply returns the payload to install after the round.
+// SyncReply returns the payload to install after the round. Round is the
+// server's round index after this sync; async clients adopt it as their next
+// staleness base.
 type SyncReply struct {
 	Payload     fed.Payload
 	Participant bool
+	Round       int
+}
+
+// FetchArgs asks an async server for model state committed since the
+// client's Base round — the pull half of the async protocol: a submission
+// that lands before a commit is answered immediately with the then-current
+// global, so the client collects its committed (possibly personalized)
+// result on its next contact instead.
+type FetchArgs struct {
+	ClientID int
+	Base     int
+}
+
+// FetchReply carries the fetched payload when Has is set; Has false means
+// no round has committed since Base and the client keeps what it has.
+type FetchReply struct {
+	Payload     fed.Payload
+	Participant bool
+	Round       int
+	Has         bool
 }
 
 // StateArgs requests the server's current round state.
@@ -121,7 +154,18 @@ type ServerConfig struct {
 	// RoundTimeout bounds how long a round stays open once its first
 	// upload arrives; on expiry the server aggregates with whoever has
 	// arrived. 0 waits for the full barrier forever (the strict protocol).
+	// Ignored in async mode, which has no barrier to time out.
 	RoundTimeout time.Duration
+
+	// Async switches the server to buffered asynchronous aggregation: Sync
+	// never blocks on a barrier; deltas are staleness-weighted and a commit
+	// fires every Buffer accepted arrivals (fedcore.AsyncEngine).
+	Async bool
+	// StalenessBound caps accepted staleness in async mode (negative =
+	// unbounded, zero = fresh only — the sync-degradation setting).
+	StalenessBound int
+	// Buffer is the async commit trigger B; <= 0 resolves to K.
+	Buffer int
 }
 
 // Server is the aggregation endpoint: the RPC/barrier data plane over the
@@ -129,6 +173,9 @@ type ServerConfig struct {
 type Server struct {
 	cfg    ServerConfig
 	engine *fedcore.Engine
+	// async is the buffered submission front-end in async mode, nil in sync
+	// mode; engine is then async.Engine().
+	async *fedcore.AsyncEngine
 
 	mu          sync.Mutex
 	nextID      int
@@ -146,17 +193,34 @@ type Server struct {
 // NewServer builds a server; it does not listen yet. Round policy (K
 // resolution, aggregator and initial-model validation) is the engine's.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	engine, err := fedcore.New(cfg.Aggregator, cfg.InitialGlobal, fedcore.Options{
+	coreOpts := fedcore.Options{
 		K:       cfg.K,
 		Clients: cfg.Clients,
 		Seed:    cfg.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fednet: %w", err)
+	}
+	var engine *fedcore.Engine
+	var async *fedcore.AsyncEngine
+	if cfg.Async {
+		a, err := fedcore.NewAsync(cfg.Aggregator, cfg.InitialGlobal, fedcore.AsyncOptions{
+			Options:        coreOpts,
+			StalenessBound: cfg.StalenessBound,
+			Buffer:         cfg.Buffer,
+		}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fednet: %w", err)
+		}
+		async, engine = a, a.Engine()
+	} else {
+		e, err := fedcore.New(cfg.Aggregator, cfg.InitialGlobal, coreOpts)
+		if err != nil {
+			return nil, fmt.Errorf("fednet: %w", err)
+		}
+		engine = e
 	}
 	s := &Server{
 		cfg:       cfg,
 		engine:    engine,
+		async:     async,
 		pending:   map[int]fed.Payload{},
 		roundDone: make(chan struct{}),
 		lastRound: -1,
@@ -244,7 +308,14 @@ func (h *rpcHandler) Join(args JoinArgs, reply *JoinReply) error {
 		reply.ClientID = s.nextID
 		s.nextID++
 	}
-	reply.Round, reply.Global = s.engine.Join()
+	if s.async != nil {
+		// The async join also clears the slot's dedup state, so a restarted
+		// client reusing its id is not blocked by its previous life's seqs.
+		reply.Round, reply.Global = s.async.Join(reply.ClientID)
+		reply.Async = true
+	} else {
+		reply.Round, reply.Global = s.engine.Join()
+	}
 	gNetClients.Set(float64(s.nextID))
 	return nil
 }
@@ -257,8 +328,12 @@ func (h *rpcHandler) State(_ StateArgs, reply *StateReply) error {
 	return nil
 }
 
-// Sync implements the round barrier RPC.
+// Sync implements the round exchange RPC: the round barrier in sync mode, a
+// non-blocking staleness-weighted submission in async mode.
 func (h *rpcHandler) Sync(args SyncArgs, reply *SyncReply) error {
+	if h.s.async != nil {
+		return h.syncAsync(args, reply)
+	}
 	s := h.s
 	s.mu.Lock()
 	if args.ClientID < 0 || args.ClientID >= s.cfg.Clients {
@@ -316,6 +391,92 @@ func (h *rpcHandler) Sync(args SyncArgs, reply *SyncReply) error {
 	return nil
 }
 
+// syncAsync is the async-mode Sync body: validate, submit to the buffered
+// engine (which may commit a round inside the call), and reply immediately —
+// the caller never waits out a barrier. The reply carries the client's
+// personalized payload when one is available (from the commit this
+// submission triggered, or retained from an earlier commit the client
+// participated in), otherwise the current global. Duplicate submissions
+// (retransmits after a lost reply) are answered idempotently the same way.
+func (h *rpcHandler) syncAsync(args SyncArgs, reply *SyncReply) error {
+	s := h.s
+	s.mu.Lock()
+	known := args.ClientID >= 0 && args.ClientID < s.cfg.Clients
+	s.mu.Unlock()
+	if !known {
+		return fmt.Errorf("fednet: unknown client %d", args.ClientID)
+	}
+	res, err := s.async.Submit(args.ClientID, args.Round, args.Base, args.Upload)
+	if err != nil {
+		return fmt.Errorf("%s: length %d, want %d (client %d)", msgBadUpload, len(args.Upload), s.engine.PayloadLen(), args.ClientID)
+	}
+	if res.Committed != nil {
+		s.mu.Lock()
+		s.lastRound = res.Committed.Round
+		s.mu.Unlock()
+		mNetRounds.Inc()
+		gNetRound.Set(float64(res.Round))
+	}
+	reply.Round = res.Round
+	switch {
+	case res.Personalized != nil:
+		reply.Payload = res.Personalized
+		reply.Participant = true
+	default:
+		if p, ok := s.async.TakePersonal(args.ClientID); ok {
+			reply.Payload = p
+			reply.Participant = true
+		} else {
+			reply.Payload = s.engine.Global()
+		}
+	}
+	return nil
+}
+
+// Fetch implements the async pull RPC: when a round has committed since the
+// client's Base, it returns the client's retained personalized payload (if
+// it participated in that commit) or the current global. Sync servers
+// reject it — the barrier reply already delivers every result.
+func (h *rpcHandler) Fetch(args FetchArgs, reply *FetchReply) error {
+	s := h.s
+	if s.async == nil {
+		return fmt.Errorf("fednet: Fetch requires an async server")
+	}
+	if args.ClientID < 0 || args.ClientID >= s.cfg.Clients {
+		return fmt.Errorf("fednet: unknown client %d", args.ClientID)
+	}
+	round := s.engine.Round()
+	reply.Round = round
+	if round <= args.Base {
+		return nil
+	}
+	reply.Has = true
+	if p, ok := s.async.TakePersonal(args.ClientID); ok {
+		reply.Payload, reply.Participant = p, true
+	} else {
+		reply.Payload = s.engine.Global()
+	}
+	return nil
+}
+
+// Flush force-commits a partially filled async buffer (end of a run) so
+// trailing deltas are not lost. A no-op in sync mode or when the buffer is
+// empty.
+func (s *Server) Flush() (RoundInfo, bool) {
+	if s.async == nil {
+		return RoundInfo{}, false
+	}
+	report, ok := s.async.Flush()
+	if ok {
+		s.mu.Lock()
+		s.lastRound = report.Round
+		s.mu.Unlock()
+		mNetRounds.Inc()
+		gNetRound.Set(float64(s.engine.Round()))
+	}
+	return report, ok
+}
+
 // deadline closes round r with whoever arrived, if it is still open.
 func (s *Server) deadline(r int) {
 	s.mu.Lock()
@@ -337,6 +498,7 @@ func (s *Server) deadline(r int) {
 // weight. This path pushes: everyone uploads, then K of the arrivals are
 // selected, so Selected ≤ Arrived in the report.
 func (s *Server) closeRoundLocked(timedOut bool) {
+	round := s.engine.Round()
 	arrived := make([]int, 0, len(s.pending))
 	for id := range s.pending {
 		arrived = append(arrived, id)
@@ -357,9 +519,9 @@ func (s *Server) closeRoundLocked(timedOut bool) {
 	}, func(personalized map[int]fedcore.Payload, global fedcore.Payload) (int, time.Duration) {
 		for _, id := range arrived {
 			if p, ok := personalized[id]; ok {
-				results[id] = SyncReply{Payload: p, Participant: true}
+				results[id] = SyncReply{Payload: p, Participant: true, Round: round + 1}
 			} else {
-				results[id] = SyncReply{Payload: append(fed.Payload(nil), global...)}
+				results[id] = SyncReply{Payload: append(fed.Payload(nil), global...), Round: round + 1}
 			}
 		}
 		return 0, 0

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -59,7 +60,15 @@ func Combine(sets ...[]Task) []Task {
 // the rest are drawn uniformly from the other datasets in others. The
 // result is arrival-ordered and rebased.
 func HybridMix(rng *rand.Rand, native DatasetID, others []DatasetID, n int, nativeFrac float64) []Task {
-	nNative := int(float64(n) * nativeFrac)
+	if nativeFrac < 0 {
+		nativeFrac = 0
+	}
+	if nativeFrac > 1 {
+		nativeFrac = 1
+	}
+	// Round to nearest so small fractions still contribute (n=7, frac=0.1
+	// must yield 1 native task, not 0 via truncation).
+	nNative := int(math.Round(float64(n) * nativeFrac))
 	if nNative > n {
 		nNative = n
 	}

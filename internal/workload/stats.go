@@ -61,6 +61,9 @@ func Characterize(name string, tasks []Task) Characterization {
 }
 
 func meanP50P95(v []float64) (mean, p50, p95 float64) {
+	if len(v) == 0 {
+		return 0, 0, 0
+	}
 	s := append([]float64(nil), v...)
 	sort.Float64s(s)
 	total := 0.0

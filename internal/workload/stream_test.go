@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -93,6 +94,61 @@ func TestCSVStreamRejections(t *testing.T) {
 			// Stopped streams stay stopped.
 			if _, ok := s.Next(); ok {
 				t.Fatal("stream resumed after failure")
+			}
+		})
+	}
+}
+
+// TestCSVStreamMidStreamFailure pins the mid-stream failure contract: after
+// N good rows, a malformed row or an out-of-order arrival stops the stream
+// deterministically at that row, the already-emitted tasks are exactly the
+// batch-import prefix, and Err stays set while Next stays stopped — even
+// though more valid rows follow the offending one.
+func TestCSVStreamMidStreamFailure(t *testing.T) {
+	good := Lookup(Google).Sample(rand.New(rand.NewSource(9)), 10)
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, good); err != nil {
+		t.Fatal(err)
+	}
+	prefix := buf.String()
+	lastArrival := good[len(good)-1].Arrival
+	cases := map[string]string{
+		"malformed-row": "x,bogus,1,1,1,0\n",
+		"out-of-order":  fmt.Sprintf("10,%d,1,1,1,0\n", lastArrival-1),
+	}
+	trailer := fmt.Sprintf("11,%d,1,1,1,0\n", lastArrival+5)
+	for name, bad := range cases {
+		t.Run(name, func(t *testing.T) {
+			s, err := NewCSVStream(strings.NewReader(prefix + bad + trailer))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, want := range good {
+				got, ok := s.Next()
+				if !ok {
+					t.Fatalf("stream stopped at good row %d (err: %v)", i, s.Err())
+				}
+				if got != want {
+					t.Fatalf("good row %d corrupted by later failure: %+v vs %+v", i, got, want)
+				}
+				if s.Err() != nil {
+					t.Fatalf("Err set while good rows remained: %v", s.Err())
+				}
+			}
+			if tk, ok := s.Next(); ok {
+				t.Fatalf("offending row emitted: %+v", tk)
+			}
+			if s.Err() == nil {
+				t.Fatal("mid-stream failure not reported")
+			}
+			// Stopped streams stay stopped: the valid trailer row after the
+			// failure must never surface.
+			first := s.Err()
+			if _, ok := s.Next(); ok {
+				t.Fatal("stream resumed past a failure")
+			}
+			if s.Err() != first {
+				t.Fatalf("Err changed across calls: %v vs %v", first, s.Err())
 			}
 		})
 	}

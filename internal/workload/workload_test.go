@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -265,6 +266,74 @@ func TestCharacterizeEmpty(t *testing.T) {
 	c := Characterize("empty", nil)
 	if c.Tasks != 0 {
 		t.Fatal("empty characterization wrong")
+	}
+	// Every statistic must be a finite zero — NaN here breaks json.Marshal
+	// in the report paths (json: unsupported value: NaN).
+	for name, v := range map[string]float64{
+		"CPUMean": c.CPUMean, "CPUP50": c.CPUP50, "CPUP95": c.CPUP95,
+		"MemMean": c.MemMean, "MemP50": c.MemP50, "MemP95": c.MemP95,
+		"DurMean": c.DurMean, "DurP50": c.DurP50, "DurP95": c.DurP95,
+		"RatePerSlot": c.RatePerSlot, "RatePeak": c.RatePeak,
+	} {
+		if v != 0 {
+			t.Fatalf("%s = %v on empty set, want 0", name, v)
+		}
+	}
+	if _, err := json.Marshal(c); err != nil {
+		t.Fatalf("empty characterization does not marshal: %v", err)
+	}
+}
+
+// TestMeanP50P95Empty pins the division-by-zero guard directly: an empty
+// vector yields zeros, not NaN.
+func TestMeanP50P95Empty(t *testing.T) {
+	mean, p50, p95 := meanP50P95(nil)
+	if mean != 0 || p50 != 0 || p95 != 0 {
+		t.Fatalf("meanP50P95(nil) = %v %v %v, want zeros", mean, p50, p95)
+	}
+	if math.IsNaN(mean) || math.IsNaN(p50) || math.IsNaN(p95) {
+		t.Fatal("meanP50P95(nil) produced NaN")
+	}
+}
+
+// TestHybridMixBoundaryFractions pins the rounding and clamping of the
+// native count: nNative = round(n*frac) with frac clamped to [0,1], so small
+// fractions are not truncated to zero and out-of-range fractions cannot
+// produce negative or oversized sample requests.
+func TestHybridMixBoundaryFractions(t *testing.T) {
+	others := []DatasetID{Alibaba2017}
+	cases := []struct {
+		name       string
+		n          int
+		frac       float64
+		wantNative int
+	}{
+		{"truncation-bug", 7, 0.1, 1},   // int(0.7) == 0 before the fix
+		{"round-down", 10, 0.04, 0},     // round(0.4) == 0
+		{"round-up", 10, 0.05, 1},       // round(0.5) == 1 (half away from zero)
+		{"negative-clamped", 10, -0.5, 0},
+		{"zero", 10, 0, 0},
+		{"one", 10, 1, 10},
+		{"over-one-clamped", 10, 1.5, 10},
+		{"exact-fifth", 200, 0.2, 40},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			mix := HybridMix(rng, Google, others, tc.n, tc.frac)
+			if len(mix) != tc.n {
+				t.Fatalf("mix size %d, want %d", len(mix), tc.n)
+			}
+			native := 0
+			for _, tk := range mix {
+				if tk.Source == Google {
+					native++
+				}
+			}
+			if native != tc.wantNative {
+				t.Fatalf("native count %d, want %d", native, tc.wantNative)
+			}
+		})
 	}
 }
 
