@@ -17,9 +17,9 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci vet staticcheck build test race test-race fuzz-smoke bench bench-env bench-update perf scale scale-smoke metrics-smoke swarm-smoke
+.PHONY: ci vet staticcheck build test race test-race fuzz-smoke bench bench-env bench-update perf scale scale-smoke metrics-smoke swarm-smoke spec-smoke
 
-ci: vet staticcheck build race test-race bench-smoke bench-env bench-update scale-smoke metrics-smoke swarm-smoke
+ci: vet staticcheck build race test-race bench-smoke bench-env bench-update scale-smoke metrics-smoke swarm-smoke spec-smoke
 
 vet:
 	$(GO) vet ./...
@@ -71,6 +71,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime 10s ./internal/rl
 	$(GO) test -run '^$$' -fuzz FuzzCSVTrace -fuzztime 10s ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzCSVStream -fuzztime 10s ./internal/workload
+	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzStreamInject -fuzztime 10s ./internal/cloudsim
 
 # One iteration of each microbenchmark: catches panics/regressions in the
@@ -106,3 +107,10 @@ scale-smoke:
 # The full 20/500/5000-VM sweep, regenerating BENCH_ClusterScale.json.
 scale:
 	$(GO) run ./cmd/pfrl-bench -exp scale -benchdir .
+
+# Workload-spec engine smoke for ci: every embedded preset must reproduce
+# its builtin model bit-for-bit, and a tiny spec-driven episode must run end
+# to end with the per-SLO-class breakdown.
+spec-smoke:
+	$(GO) run ./cmd/workload-stats -validate-presets -n 500
+	$(GO) run ./cmd/pfrl-bench -exp spec -workload-spec examples/hybridworkloads/twoclient.json -tasks 40

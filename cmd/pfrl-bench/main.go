@@ -34,22 +34,23 @@ import (
 )
 
 type benchConfig struct {
-	seed     int64
-	scale    int
-	tasks    int
-	episodes int
-	comm     int
-	smooth   int
-	scaleCap int
-	csvDir   string
-	benchDir string
+	seed         int64
+	scale        int
+	tasks        int
+	episodes     int
+	comm         int
+	smooth       int
+	scaleCap     int
+	csvDir       string
+	benchDir     string
+	workloadSpec string
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pfrl-bench: ")
 	var (
-		exp      = flag.String("exp", "", "experiment id (fig7 fig8 fig9 fig10 fig11 fig15 fig16 table4 fig20 fig21 ablation perf scale all)")
+		exp      = flag.String("exp", "", "experiment id (fig7 fig8 fig9 fig10 fig11 fig15 fig16 table4 fig20 fig21 ablation perf scale spec all)")
 		seed     = flag.Int64("seed", 1, "experiment seed")
 		scale    = flag.Int("scale", 4, "VM capacity divisor (1 = paper scale)")
 		tasks    = flag.Int("tasks", 100, "tasks per client (paper: 3500)")
@@ -60,6 +61,8 @@ func main() {
 		benchDir = flag.String("benchdir", "", "write perf results as BENCH_<name>.json files into this directory")
 		scaleCap = flag.Int("scale-cap", 0, "skip cluster-scale sweep sizes above this VM count (0 = full sweep; CI smoke uses 20)")
 		events   = flag.String("events", "", "append JSONL training/federation events to this file (empty = disabled)")
+		workloadSpec = flag.String("workload-spec", "",
+			"declarative workload spec JSON for -exp spec; also redirects the -exp scale sweep's arrivals")
 	)
 	flag.Parse()
 	if *exp == "" {
@@ -79,7 +82,7 @@ func main() {
 			}
 		}()
 	}
-	bc := benchConfig{seed: *seed, scale: *scale, tasks: *tasks, episodes: *episodes, comm: *comm, smooth: *smooth, scaleCap: *scaleCap, csvDir: *csvDir, benchDir: *benchDir}
+	bc := benchConfig{seed: *seed, scale: *scale, tasks: *tasks, episodes: *episodes, comm: *comm, smooth: *smooth, scaleCap: *scaleCap, csvDir: *csvDir, benchDir: *benchDir, workloadSpec: *workloadSpec}
 	for _, dir := range []string{bc.csvDir, bc.benchDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -138,6 +141,8 @@ func run(id string, bc benchConfig) error {
 		return runPerf(bc)
 	case "scale":
 		return runClusterScale(bc)
+	case "spec":
+		return runSpecEpisode(bc)
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

@@ -46,8 +46,17 @@ func scaleConfig(specs []cloudsim.VMSpec) cloudsim.Config {
 	return cfg
 }
 
-func scaleSource(seed int64, n int, specs []cloudsim.VMSpec) *cloudsim.SamplerSource {
-	return cloudsim.NewSamplerSource(workload.Lookup(workload.Google), seed, n, specs)
+// scaleSource feeds the sweep's streaming arrivals: the Google builtin by
+// default, or the -workload-spec declarative spec when one is given.
+func (bc benchConfig) scaleSource(seed int64, n int, specs []cloudsim.VMSpec) (cloudsim.TaskSource, error) {
+	if bc.workloadSpec != "" {
+		comp, err := loadCompiledSpec(bc.workloadSpec)
+		if err != nil {
+			return nil, err
+		}
+		return cloudsim.NewSpecSource(comp, seed, n, specs), nil
+	}
+	return cloudsim.NewSamplerSource(workload.Lookup(workload.Google), seed, n, specs), nil
 }
 
 // scalePolicyEntry is one heuristic's full-episode row in the artifact.
@@ -146,7 +155,11 @@ func runClusterScale(bc benchConfig) error {
 
 		// Heuristic portfolio: full streamed episodes.
 		for _, p := range scalePolicies(bc.seed) {
-			env, err := cloudsim.NewEnvSource(cfg, scaleSource(bc.seed, nTasks, specs))
+			src, err := bc.scaleSource(bc.seed, nTasks, specs)
+			if err != nil {
+				return err
+			}
+			env, err := cloudsim.NewEnvSource(cfg, src)
 			if err != nil {
 				return err
 			}
@@ -166,7 +179,11 @@ func runClusterScale(bc benchConfig) error {
 
 		// Learned-policy inference cost: untrained PPO on the ranked
 		// observation, capped so the row measures per-decision latency.
-		env, err := cloudsim.NewEnvSource(cfg, scaleSource(bc.seed, nTasks, specs))
+		policySrc, err := bc.scaleSource(bc.seed, nTasks, specs)
+		if err != nil {
+			return err
+		}
+		env, err := cloudsim.NewEnvSource(cfg, policySrc)
 		if err != nil {
 			return err
 		}
@@ -194,7 +211,11 @@ func runClusterScale(bc benchConfig) error {
 		if naiveTasks > 2*scaleNaiveSteps {
 			naiveTasks = 2 * scaleNaiveSteps
 		}
-		naiveEnv, err := cloudsim.NewEnvSource(naiveCfg, scaleSource(bc.seed, naiveTasks, specs))
+		naiveSrc, err := bc.scaleSource(bc.seed, naiveTasks, specs)
+		if err != nil {
+			return err
+		}
+		naiveEnv, err := cloudsim.NewEnvSource(naiveCfg, naiveSrc)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cloudsim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Default per-class wait targets (slots) for the spec episode's violation
+// accounting: best-effort untracked, standard 8, critical 4.
+var specWaitTargets = [workload.NumSLOClasses]int{0, 8, 4}
+
+// loadCompiledSpec reads and compiles a declarative workload spec file.
+func loadCompiledSpec(path string) (*workload.Compiled, error) {
+	spec, err := workload.LoadSpec(path)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Compile()
+}
+
+// runSpecEpisode streams one first-fit episode from the -workload-spec file
+// over the 20-VM reference cluster and prints the per-SLO-class wait
+// breakdown — the quickest end-to-end look at what a spec generates and how
+// its service classes fare under a baseline scheduler.
+func runSpecEpisode(bc benchConfig) error {
+	if bc.workloadSpec == "" {
+		return fmt.Errorf("-exp spec requires -workload-spec <file.json>")
+	}
+	comp, err := loadCompiledSpec(bc.workloadSpec)
+	if err != nil {
+		return err
+	}
+	n := 5 * bc.tasks
+	specs := scaleCluster(20)
+	cfg := cloudsim.DefaultConfig(specs)
+	cfg.Objectives.SLOWaitTarget = specWaitTargets
+	env, err := cloudsim.NewEnvSource(cfg, cloudsim.NewSpecSource(comp, bc.seed, n, specs))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Spec episode: %q, %d tasks on %d VMs, first-fit (wait targets: standard %d, critical %d slots)\n",
+		comp.Name, n, len(specs), specWaitTargets[workload.SLOStandard], specWaitTargets[workload.SLOCritical])
+	steps, _ := timedEpisode(env, cloudsim.FirstFit{}, 0)
+	m := env.Metrics()
+	fmt.Printf("completed %d/%d tasks in %d decisions; avg response %.2f, makespan %d, avg util %.3f\n",
+		m.Completed, m.Total, steps, m.AvgResponse, m.Makespan, m.AvgUtil)
+	t := trace.NewTable("slo class", "completed", "avg wait", "wait p50", "wait p95", "violations")
+	for _, s := range m.PerSLO {
+		t.AddRow(s.Class.String(), s.Completed, s.AvgWait, s.WaitP50, s.WaitP95, s.Violations)
+	}
+	fmt.Print(t.String())
+	return nil
+}

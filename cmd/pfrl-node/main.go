@@ -41,6 +41,8 @@ var (
 		"scalable observation: aggregate utilization histogram buckets (requires -topk)")
 	oversubFlag = flag.Float64("oversub", 0,
 		"vCPU/memory oversubscription ratio (0 or 1 = off)")
+	workloadSpecFlag = flag.String("workload-spec", "",
+		"client/demo/swarm: draw tasks from this declarative workload spec JSON instead of the -dataset builtin")
 )
 
 func main() {
@@ -157,11 +159,31 @@ func buildLocal(spec core.ClientSpec, tasks int, seed int64) (*fed.Client, error
 	envCfg := federationEnv(spec)
 	envCfg.MaxSteps = 5 * tasks
 	rng := rand.New(rand.NewSource(seed))
-	ts := cloudsim.ClampTasks(workload.SampleDataset(spec.Dataset, rng, tasks), spec.VMs)
+	ts, err := localTasks(spec, tasks, rng)
+	if err != nil {
+		return nil, err
+	}
 	agent := rl.NewDualCriticPPO(
 		rl.DefaultConfig(cloudsim.StateDim(envCfg), cloudsim.NumActions(envCfg)),
 		rand.New(rand.NewSource(seed*7919+13)))
 	return fed.NewClient(int(seed), spec.Name, envCfg, ts, agent)
+}
+
+// localTasks draws a node's task set: from the -workload-spec file when
+// given, otherwise from the client's builtin dataset model.
+func localTasks(spec core.ClientSpec, tasks int, rng *rand.Rand) ([]workload.Task, error) {
+	if *workloadSpecFlag == "" {
+		return cloudsim.ClampTasks(workload.SampleDataset(spec.Dataset, rng, tasks), spec.VMs), nil
+	}
+	ws, err := workload.LoadSpec(*workloadSpecFlag)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := ws.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return cloudsim.ClampTasks(comp.Sample(rng, tasks), spec.VMs), nil
 }
 
 // asyncConfig carries the asynchronous-federation flags into each mode.

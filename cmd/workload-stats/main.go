@@ -8,6 +8,9 @@
 //	workload-stats -table1
 //	workload-stats -fig 2 [-n 3500] [-seed 1]
 //	workload-stats -summary
+//	workload-stats -spec mix.json
+//	workload-stats -calibrate trace.csv [-spec mix.json]
+//	workload-stats -validate-presets
 package main
 
 import (
@@ -31,9 +34,13 @@ func main() {
 		n       = flag.Int("n", 3500, "tasks sampled per dataset (the paper samples 3500)")
 		seed    = flag.Int64("seed", 1, "sampling seed")
 		bins    = flag.Int("bins", 10, "histogram bins for figures 2-3")
+		specFile  = flag.String("spec", "", "characterize this declarative workload spec (also the reference for -calibrate)")
+		calibrate = flag.String("calibrate", "", "compare this CSV trace against -spec (or a spec fitted from the trace)")
+		validate  = flag.Bool("validate-presets", false, "check every embedded preset spec matches its builtin model bit-for-bit")
 	)
 	flag.Parse()
 
+	var err error
 	switch {
 	case *table1:
 		printTable1()
@@ -41,9 +48,18 @@ func main() {
 		printFigure(*fig, *n, *seed, *bins)
 	case *summary:
 		printSummary(*n, *seed)
+	case *validate:
+		err = validatePresets(*n, *seed)
+	case *calibrate != "":
+		err = runCalibrate(*calibrate, *specFile, *seed)
+	case *specFile != "":
+		err = printSpecSummary(*specFile, *n, *seed)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -1,5 +1,7 @@
 package cloudsim
 
+import "repro/internal/workload"
+
 // The paper notes its reward "can be easily extended to accommodate other
 // optimization objectives, such as makespan, cost, energy consumption"
 // (§4.2). This file makes that concrete: a linear power model and a
@@ -36,11 +38,29 @@ func (p PowerModel) draw(cpuUtil float64, busy bool) float64 {
 // add little marginal power (consolidating onto already-busy VMs);
 // R_cost rewards placements that avoid waking a billed VM. Zero-value
 // weights reproduce the paper's two-term reward via Config.Rho.
+//
+// The SLO fields shape and score placements per service class, outside the
+// normalized mix: SLOWaitCost subtracts cost·wait from every placement of a
+// task in that class, and SLOWaitTarget sets the per-class wait threshold
+// (in slots) behind Metrics.PerSLO violation counts. All-zero SLO fields
+// reproduce the unshaped reward and metrics bit-for-bit.
 type ObjectiveWeights struct {
 	Response    float64
 	LoadBalance float64
 	Energy      float64
 	Cost        float64
+
+	SLOWaitCost   [workload.NumSLOClasses]float64
+	SLOWaitTarget [workload.NumSLOClasses]int
+}
+
+// sloIndex clamps a task's class into the weights/metrics range, so tasks
+// from hand-built traces with out-of-range classes count as best-effort.
+func sloIndex(c workload.SLOClass) int {
+	if c < 0 || int(c) >= workload.NumSLOClasses {
+		return 0
+	}
+	return int(c)
 }
 
 // normalized returns the weights scaled to sum to 1; an all-zero value

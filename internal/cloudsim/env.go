@@ -285,6 +285,10 @@ type Env struct {
 	lastRespReward float64
 	lastLoadReward float64
 
+	// Per-class wait scratch reused by Metrics, so repeated metric reads
+	// stay allocation-free once capacities are established.
+	sloWaits [workload.NumSLOClasses][]float64
+
 	// retireHook, when set, observes every completion pop in order (test
 	// hook for the invariant harness; nil in production).
 	retireHook func(completion)
@@ -750,17 +754,22 @@ func (e *Env) Step(action int) float64 {
 		Start:  e.now,
 		Finish: e.now + eff.Duration,
 	})
-	base := e.placementReward(eff, before, after)
+	reward := e.placementReward(eff, before, after)
 	w := e.cfg.Objectives.normalized(e.cfg.Rho)
-	if w.Energy == 0 && w.Cost == 0 {
-		return base
+	if w.Energy != 0 || w.Cost != 0 {
+		// Extended objective mix: rescale the two paper terms into the
+		// normalized weight vector and add the energy/cost terms.
+		respTerm, loadTerm := e.lastRespReward, e.lastLoadReward
+		reward = w.Response*respTerm + w.LoadBalance*loadTerm +
+			w.Energy*e.energyReward(vm, wasBusy, utilBefore, utilAfter) +
+			w.Cost*e.costReward(vmIdx, wasBusy)
 	}
-	// Extended objective mix: rescale the two paper terms into the
-	// normalized weight vector and add the energy/cost terms.
-	respTerm, loadTerm := e.lastRespReward, e.lastLoadReward
-	return w.Response*respTerm + w.LoadBalance*loadTerm +
-		w.Energy*e.energyReward(vm, wasBusy, utilBefore, utilAfter) +
-		w.Cost*e.costReward(vmIdx, wasBusy)
+	// SLO shaping: a per-class linear wait cost on top of the mix, guarded
+	// so the zero-cost default reproduces the unshaped reward bit-for-bit.
+	if cost := e.cfg.Objectives.SLOWaitCost[sloIndex(eff.SLO)]; cost != 0 {
+		reward -= cost * float64(e.now-eff.Arrival)
+	}
+	return reward
 }
 
 // invalidPenalty implements Eq. (9): −e^{Σ_i w_i·util_i} for the denied VM.

@@ -1,5 +1,25 @@
 package cloudsim
 
+import (
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// SLOMetrics summarizes queueing behavior for one service class.
+type SLOMetrics struct {
+	Class     workload.SLOClass
+	Completed int
+	// AvgWait / WaitP50 / WaitP95 summarize the class's queueing delays
+	// j^wait in slots.
+	AvgWait float64
+	WaitP50 float64
+	WaitP95 float64
+	// Violations counts completed tasks whose wait exceeded the class's
+	// Config.Objectives.SLOWaitTarget (a zero target tracks nothing).
+	Violations int
+}
+
 // Metrics are the four evaluation measures of §5.1.
 type Metrics struct {
 	// AvgResponse is Eq. (23): mean of j^res over completed tasks, in slots.
@@ -24,6 +44,9 @@ type Metrics struct {
 	// Cost is the accumulated per-slot billing of busy VMs (the extended
 	// cost objective; price·slots).
 	Cost float64
+	// PerSLO breaks queueing delay down by service class, indexed by
+	// workload.SLOClass.
+	PerSLO [workload.NumSLOClasses]SLOMetrics
 }
 
 // Drain advances time until every placed task has finished executing, so
@@ -58,7 +81,53 @@ func (e *Env) Metrics() Metrics {
 	}
 	m.EnergyWattSlots = e.energySum
 	m.Cost = e.costSum
+	e.perSLOMetrics(&m)
 	return m
+}
+
+// perSLOMetrics fills Metrics.PerSLO from the completion records, reusing
+// the env-owned wait buffers so repeated Metrics calls do not allocate in
+// steady state.
+func (e *Env) perSLOMetrics(m *Metrics) {
+	for c := range e.sloWaits {
+		e.sloWaits[c] = e.sloWaits[c][:0]
+	}
+	for _, r := range e.completed {
+		c := sloIndex(r.Task.SLO)
+		e.sloWaits[c] = append(e.sloWaits[c], float64(r.Wait()))
+	}
+	for c := range m.PerSLO {
+		s := &m.PerSLO[c]
+		s.Class = workload.SLOClass(c)
+		waits := e.sloWaits[c]
+		s.Completed = len(waits)
+		if len(waits) == 0 {
+			continue
+		}
+		sort.Float64s(waits)
+		sum := 0.0
+		target := float64(e.cfg.Objectives.SLOWaitTarget[c])
+		for _, w := range waits {
+			sum += w
+			if target > 0 && w > target {
+				s.Violations++
+			}
+		}
+		s.AvgWait = sum / float64(len(waits))
+		s.WaitP50 = waitPercentile(waits, 0.50)
+		s.WaitP95 = waitPercentile(waits, 0.95)
+	}
+}
+
+// waitPercentile linearly interpolates a percentile of a sorted sample.
+func waitPercentile(sorted []float64, q float64) float64 {
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 // Records returns the completion records accumulated so far.

@@ -111,6 +111,52 @@ func (s *SamplerSource) Rewind() {
 	s.stream = s.model.Stream(rand.New(rand.NewSource(s.seed)), s.n)
 }
 
+// SpecSource draws tasks lazily from a compiled workload spec via
+// workload.Compiled.Stream, so multi-tenant spec-driven episodes are
+// generated one task at a time, bit-identical to Compiled.Sample under the
+// same seed. An optional clamp cluster applies ClampTask per task, like
+// SamplerSource.
+type SpecSource struct {
+	spec   *workload.Compiled
+	seed   int64
+	n      int
+	clamp  []VMSpec
+	stream workload.TaskStream
+}
+
+// NewSpecSource returns a source emitting n tasks from the compiled spec
+// under the given seed. When clamp is non-nil, every task is clamped to fit
+// at least one of the given VMs (see ClampTask).
+func NewSpecSource(spec *workload.Compiled, seed int64, n int, clamp []VMSpec) *SpecSource {
+	s := &SpecSource{spec: spec, seed: seed, n: n, clamp: clamp}
+	s.Rewind()
+	return s
+}
+
+// Next implements TaskSource.
+func (s *SpecSource) Next() (workload.Task, bool) {
+	t, ok := s.stream.Next()
+	if !ok {
+		return workload.Task{}, false
+	}
+	if s.clamp != nil {
+		t = ClampTask(t, s.clamp)
+	}
+	return t, true
+}
+
+// Total implements TaskSource.
+func (s *SpecSource) Total() int { return s.n }
+
+// Err implements TaskSource: sampling never fails.
+func (s *SpecSource) Err() error { return nil }
+
+// Rewind restarts the stream from the seed, regenerating the identical
+// task sequence (for repeated episodes).
+func (s *SpecSource) Rewind() {
+	s.stream = s.spec.Stream(rand.New(rand.NewSource(s.seed)), s.n)
+}
+
 // CSVSource replays a trace in the workload ExportCSV format one row at a
 // time. The total is unknown up front (Total returns -1), so environments
 // driven by a CSVSource must set Config.MaxSteps explicitly. A CSVSource is

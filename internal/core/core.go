@@ -80,31 +80,36 @@ type ClientSpec struct {
 	Name    string
 	VMs     []cloudsim.VMSpec
 	Dataset workload.DatasetID
+	// Workload, when non-nil, overrides Dataset: the client draws its tasks
+	// from the declarative spec (workload.ParseSpec / workload.PresetSpec)
+	// instead of a builtin model, enabling multi-tenant mixes and SLO-tagged
+	// traffic per client.
+	Workload *workload.Spec
 }
 
 // Table2Specs returns the 4-client exploratory setup of Table 2.
 func Table2Specs() []ClientSpec {
 	return []ClientSpec{
-		{"Client1", vms(16, 128, 4, 32, 256, 1), workload.Google},
-		{"Client2", vms(32, 256, 3), workload.Alibaba2017},
-		{"Client3", vms(16, 128, 2, 32, 256, 2), workload.HPCHF},
-		{"Client4", vms(16, 128, 3, 32, 256, 2), workload.KVM2019},
+		{Name: "Client1", VMs: vms(16, 128, 4, 32, 256, 1), Dataset: workload.Google},
+		{Name: "Client2", VMs: vms(32, 256, 3), Dataset: workload.Alibaba2017},
+		{Name: "Client3", VMs: vms(16, 128, 2, 32, 256, 2), Dataset: workload.HPCHF},
+		{Name: "Client4", VMs: vms(16, 128, 3, 32, 256, 2), Dataset: workload.KVM2019},
 	}
 }
 
 // Table3Specs returns the 10-client main evaluation setup of Table 3.
 func Table3Specs() []ClientSpec {
 	return []ClientSpec{
-		{"Client1", vms(8, 64, 1, 16, 128, 4, 64, 512, 2), workload.Google},
-		{"Client2", vms(8, 64, 3, 32, 128, 3, 64, 512, 1), workload.Alibaba2017},
-		{"Client3", vms(8, 64, 3, 32, 256, 2, 64, 512, 2), workload.Alibaba2018},
-		{"Client4", vms(8, 64, 2, 32, 256, 3, 40, 256, 2), workload.HPCKS},
-		{"Client5", vms(8, 64, 1, 48, 256, 2, 64, 512, 3), workload.HPCHF},
-		{"Client6", vms(16, 128, 1, 32, 256, 3, 40, 256, 3), workload.HPCWZ},
-		{"Client7", vms(16, 128, 1, 40, 256, 3, 32, 200, 3), workload.KVM2019},
-		{"Client8", vms(16, 128, 4, 64, 512, 1), workload.KVM2020},
-		{"Client9", vms(8, 64, 2, 16, 128, 2, 64, 512, 1), workload.CERITSC},
-		{"Client10", vms(8, 128, 2, 16, 128, 4), workload.K8S},
+		{Name: "Client1", VMs: vms(8, 64, 1, 16, 128, 4, 64, 512, 2), Dataset: workload.Google},
+		{Name: "Client2", VMs: vms(8, 64, 3, 32, 128, 3, 64, 512, 1), Dataset: workload.Alibaba2017},
+		{Name: "Client3", VMs: vms(8, 64, 3, 32, 256, 2, 64, 512, 2), Dataset: workload.Alibaba2018},
+		{Name: "Client4", VMs: vms(8, 64, 2, 32, 256, 3, 40, 256, 2), Dataset: workload.HPCKS},
+		{Name: "Client5", VMs: vms(8, 64, 1, 48, 256, 2, 64, 512, 3), Dataset: workload.HPCHF},
+		{Name: "Client6", VMs: vms(16, 128, 1, 32, 256, 3, 40, 256, 3), Dataset: workload.HPCWZ},
+		{Name: "Client7", VMs: vms(16, 128, 1, 40, 256, 3, 32, 200, 3), Dataset: workload.KVM2019},
+		{Name: "Client8", VMs: vms(16, 128, 4, 64, 512, 1), Dataset: workload.KVM2020},
+		{Name: "Client9", VMs: vms(8, 64, 2, 16, 128, 2, 64, 512, 1), Dataset: workload.CERITSC},
+		{Name: "Client10", VMs: vms(8, 128, 2, 16, 128, 4), Dataset: workload.K8S},
 	}
 }
 
@@ -236,6 +241,12 @@ type ExperimentConfig struct {
 	StalenessBound int
 	// Buffer is the async commit trigger B; <= 0 resolves to K.
 	Buffer int
+	// SLOWaitCost / SLOWaitTarget are forwarded into every client's
+	// cloudsim.Config.Objectives, enabling per-service-class reward shaping
+	// and violation accounting. All-zero (the default) reproduces the
+	// unshaped paper reward exactly.
+	SLOWaitCost   [workload.NumSLOClasses]float64
+	SLOWaitTarget [workload.NumSLOClasses]int
 }
 
 // DefaultExperiment returns the scaled-down counterpart of the paper's main
@@ -280,17 +291,29 @@ type ClientData struct {
 }
 
 // SampleClientData draws each client's tasks from its dataset model (3500
-// per client at paper scale, §5.1), clamps them to the client's cluster,
-// and splits train/test.
-func SampleClientData(cfg ExperimentConfig) []ClientData {
+// per client at paper scale, §5.1) or, when ClientSpec.Workload is set, from
+// its compiled declarative spec, clamps them to the client's cluster, and
+// splits train/test. It fails only when a client's workload spec does not
+// compile.
+func SampleClientData(cfg ExperimentConfig) ([]ClientData, error) {
 	out := make([]ClientData, len(cfg.Specs))
 	for i, spec := range cfg.Specs {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
-		tasks := cloudsim.ClampTasks(workload.SampleDataset(spec.Dataset, rng, cfg.TasksPerClient), spec.VMs)
+		var tasks []workload.Task
+		if spec.Workload != nil {
+			comp, err := spec.Workload.Compile()
+			if err != nil {
+				return nil, fmt.Errorf("core: client %d (%s): %w", i, spec.Name, err)
+			}
+			tasks = comp.Sample(rng, cfg.TasksPerClient)
+		} else {
+			tasks = workload.SampleDataset(spec.Dataset, rng, cfg.TasksPerClient)
+		}
+		tasks = cloudsim.ClampTasks(tasks, spec.VMs)
 		train, test := workload.Split(tasks, cfg.TrainFrac)
 		out[i] = ClientData{Spec: spec, Train: train, Test: test}
 	}
-	return out
+	return out, nil
 }
 
 // TrainResult is the outcome of one training run.
@@ -341,6 +364,8 @@ func BuildClients(alg Algorithm, cfg ExperimentConfig, data []ClientData) ([]*fe
 		if cfg.EpisodeStepCap > 0 {
 			envCfg.MaxSteps = cfg.EpisodeStepCap
 		}
+		envCfg.Objectives.SLOWaitCost = cfg.SLOWaitCost
+		envCfg.Objectives.SLOWaitTarget = cfg.SLOWaitTarget
 		dim := cloudsim.StateDim(envCfg)
 		actions := cloudsim.NumActions(envCfg)
 		agentRng := rand.New(rand.NewSource(cfg.Seed + 104729*int64(i+1)))
@@ -361,7 +386,10 @@ func BuildClients(alg Algorithm, cfg ExperimentConfig, data []ClientData) ([]*fe
 
 // Train runs one full training under the given algorithm.
 func Train(alg Algorithm, cfg ExperimentConfig) (*TrainResult, error) {
-	data := SampleClientData(cfg)
+	data, err := SampleClientData(cfg)
+	if err != nil {
+		return nil, err
+	}
 	clients, err := BuildClients(alg, cfg, data)
 	if err != nil {
 		return nil, err

@@ -92,7 +92,10 @@ func TestCapsUniformAcrossClients(t *testing.T) {
 
 func TestSampleClientData(t *testing.T) {
 	cfg := tinyConfig(2)
-	data := SampleClientData(cfg)
+	data, err := SampleClientData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(data) != len(cfg.Specs) {
 		t.Fatal("wrong client count")
 	}
@@ -114,7 +117,10 @@ func TestSampleClientData(t *testing.T) {
 		}
 	}
 	// Deterministic for a seed.
-	again := SampleClientData(cfg)
+	again, err := SampleClientData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if again[0].Train[0] != data[0].Train[0] {
 		t.Fatal("sampling not deterministic")
 	}

@@ -37,7 +37,10 @@ type IsoHeterResult struct {
 // heter-test. The paper's observation is that heter-trained models achieve
 // lower response times across test sets.
 func RunIsoHeter(cfg ExperimentConfig) (*IsoHeterResult, error) {
-	data := SampleClientData(cfg)
+	data, err := SampleClientData(cfg)
+	if err != nil {
+		return nil, err
+	}
 	caps := CapsFor(cfg.Specs)
 
 	// Build the combined heterogeneous train/test pools (§3.1).
@@ -212,7 +215,10 @@ func RunWeightConfigs(cfg ExperimentConfig) (WeightConfigResult, error) {
 		runCfg.Specs = conf.specs
 		// Twin clients must sample independent task sets: SampleClientData
 		// already derives per-index seeds, which differ for C1 and C1'.
-		data := SampleClientData(runCfg)
+		data, err := SampleClientData(runCfg)
+		if err != nil {
+			return nil, err
+		}
 		clients, err := BuildClients(AlgFedAvg, runCfg, data)
 		if err != nil {
 			return nil, err
@@ -258,7 +264,10 @@ func RunWeightHeatmaps(cfg ExperimentConfig) (*HeatmapResult, error) {
 	runCfg := cfg
 	runCfg.Specs = specs
 
-	data := SampleClientData(runCfg)
+	data, err := SampleClientData(runCfg)
+	if err != nil {
+		return nil, err
+	}
 	clients, err := BuildClients(AlgPFRLDM, runCfg, data)
 	if err != nil {
 		return nil, err
@@ -499,7 +508,10 @@ const (
 
 // RunAblation trains one PFRL-DM variant and returns its mean reward curve.
 func RunAblation(cfg ExperimentConfig, variant AblationVariant, attentionHeads int) ([]float64, error) {
-	data := SampleClientData(cfg)
+	data, err := SampleClientData(cfg)
+	if err != nil {
+		return nil, err
+	}
 	clients, err := BuildClients(AlgPFRLDM, cfg, data)
 	if err != nil {
 		return nil, err

@@ -35,7 +35,11 @@ func equivConfig(seed int64) core.ExperimentConfig {
 // path starts from bit-identical agents, tasks, and environments.
 func buildFedClients(t *testing.T, cfg core.ExperimentConfig) []*fed.Client {
 	t.Helper()
-	clients, err := core.BuildClients(core.AlgPFRLDM, cfg, core.SampleClientData(cfg))
+	data, err := core.SampleClientData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients, err := core.BuildClients(core.AlgPFRLDM, cfg, data)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,14 +8,49 @@ import (
 	"strconv"
 )
 
-// csvHeader is the column layout used by ExportCSV / ImportCSV.
+// csvHeader is the mandatory column layout used by ExportCSV / ImportCSV.
+// An optional trailing csvSLOColumn carries service classes; traces written
+// before SLO classes existed remain readable as all-best-effort.
 var csvHeader = []string{"id", "arrival", "cpu", "mem_gib", "duration", "source"}
 
+const csvSLOColumn = "slo"
+
+// validateCSVHeader accepts the 6-column legacy layout or the 7-column
+// layout with the trailing SLO column.
+func validateCSVHeader(header []string) error {
+	if len(header) != len(csvHeader) && len(header) != len(csvHeader)+1 {
+		return fmt.Errorf("workload: CSV has %d columns, want %d (%v, optionally followed by %q)",
+			len(header), len(csvHeader), csvHeader, csvSLOColumn)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return fmt.Errorf("workload: CSV column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	if len(header) > len(csvHeader) && header[len(csvHeader)] != csvSLOColumn {
+		return fmt.Errorf("workload: CSV column %d is %q, want %q", len(csvHeader), header[len(csvHeader)], csvSLOColumn)
+	}
+	return nil
+}
+
 // ExportCSV writes tasks in a simple trace format so sampled workloads can
-// be inspected, plotted, or replayed by external tools.
+// be inspected, plotted, or replayed by external tools. The SLO column is
+// emitted only when some task carries a non-default class, so traces of
+// plain workloads keep the legacy 6-column layout byte-for-byte.
 func ExportCSV(w io.Writer, tasks []Task) error {
+	withSLO := false
+	for _, t := range tasks {
+		if t.SLO != SLOBestEffort {
+			withSLO = true
+			break
+		}
+	}
+	header := csvHeader
+	if withSLO {
+		header = append(append([]string{}, csvHeader...), csvSLOColumn)
+	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, t := range tasks {
@@ -26,6 +61,9 @@ func ExportCSV(w io.Writer, tasks []Task) error {
 			strconv.FormatFloat(t.Mem, 'g', -1, 64),
 			strconv.Itoa(t.Duration),
 			strconv.Itoa(int(t.Source)),
+		}
+		if withSLO {
+			rec = append(rec, strconv.Itoa(int(t.SLO)))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -44,13 +82,8 @@ func ImportCSV(r io.Reader) ([]Task, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: read CSV header: %w", err)
 	}
-	if len(header) != len(csvHeader) {
-		return nil, fmt.Errorf("workload: CSV has %d columns, want %d (%v)", len(header), len(csvHeader), csvHeader)
-	}
-	for i, h := range csvHeader {
-		if header[i] != h {
-			return nil, fmt.Errorf("workload: CSV column %d is %q, want %q", i, header[i], h)
-		}
+	if err := validateCSVHeader(header); err != nil {
+		return nil, err
 	}
 	var tasks []Task
 	for line := 2; ; line++ {
@@ -98,6 +131,16 @@ func parseCSVTask(rec []string) (Task, error) {
 		return t, fmt.Errorf("source: %w", err)
 	}
 	t.Source = DatasetID(src)
+	if len(rec) > len(csvHeader) {
+		slo, err := strconv.Atoi(rec[len(csvHeader)])
+		if err != nil {
+			return t, fmt.Errorf("slo: %w", err)
+		}
+		if slo < 0 || slo >= NumSLOClasses {
+			return t, fmt.Errorf("unknown slo class %d", slo)
+		}
+		t.SLO = SLOClass(slo)
+	}
 	switch {
 	case t.Arrival < 0:
 		return t, fmt.Errorf("negative arrival %d", t.Arrival)

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFitSpecRoundTrip fits a spec to a sampled trace and checks the fit
+// compiles, samples, and lands near the trace's marginals: the calibration
+// report's KS distances must be small for the resource dimensions.
+func TestFitSpecRoundTrip(t *testing.T) {
+	trace := SampleDataset(KVM2020, rand.New(rand.NewSource(11)), 2000)
+	spec, err := FitSpec("kvm-replay", trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := spec.Compile()
+	if err != nil {
+		t.Fatalf("fitted spec does not compile: %v", err)
+	}
+	sampled := comp.Sample(rand.New(rand.NewSource(12)), len(trace))
+	if len(sampled) != len(trace) {
+		t.Fatalf("sampled %d tasks, want %d", len(sampled), len(trace))
+	}
+	for _, tk := range sampled {
+		if tk.SLO != SLOStandard {
+			t.Fatalf("fitted spec lost the majority SLO class: task %+v", tk)
+		}
+	}
+	rep := Calibrate(trace, sampled)
+	if rep.TraceTasks != 2000 || rep.SampledTasks != 2000 {
+		t.Fatalf("report counts = %d/%d", rep.TraceTasks, rep.SampledTasks)
+	}
+	for _, dim := range rep.Dims {
+		if len(dim.TraceQ) != len(CalibrationQuantiles) || len(dim.SampledQ) != len(CalibrationQuantiles) {
+			t.Fatalf("%s: quantile rows malformed: %+v", dim.Name, dim)
+		}
+		// The arrival process is only moment-matched, so just require the
+		// resource marginals (fitted as empirical quantiles) to be close.
+		if dim.Name != "interarrival" && dim.KS > 0.05 {
+			t.Errorf("%s: KS distance %.3f > 0.05", dim.Name, dim.KS)
+		}
+	}
+}
+
+// TestCalibrateIdentity checks the KS distance of a trace against itself
+// is zero on every dimension.
+func TestCalibrateIdentity(t *testing.T) {
+	trace := SampleDataset(Google, rand.New(rand.NewSource(4)), 500)
+	rep := Calibrate(trace, trace)
+	for _, dim := range rep.Dims {
+		if dim.KS != 0 {
+			t.Fatalf("%s: self-KS = %v, want 0", dim.Name, dim.KS)
+		}
+	}
+}
+
+// TestFitSpecEmptyTrace checks the error path.
+func TestFitSpecEmptyTrace(t *testing.T) {
+	if _, err := FitSpec("empty", nil); err == nil {
+		t.Fatal("no error for empty trace")
+	}
+}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"bytes"
+	"embed"
+	"fmt"
+	"strings"
+)
+
+// The ten builtin datasets, shipped as declarative preset specs. Each
+// preset compiles to exactly its builtinModels entry, so spec-driven runs
+// of a preset are bit-identical to the legacy generator (pinned by
+// TestPresetSpecsMatchBuiltins).
+//
+//go:embed specs/*.json
+var presetFS embed.FS
+
+// presetFileName maps a dataset to its shipped spec file.
+func presetFileName(id DatasetID) string {
+	return "specs/" + strings.ToLower(id.String()) + ".json"
+}
+
+// PresetSpecJSON returns the raw shipped preset spec for a builtin dataset.
+func PresetSpecJSON(id DatasetID) ([]byte, error) {
+	if id < 0 || int(id) >= NumDatasets {
+		return nil, fmt.Errorf("workload: no preset spec for dataset %v", id)
+	}
+	b, err := presetFS.ReadFile(presetFileName(id))
+	if err != nil {
+		return nil, fmt.Errorf("workload: preset %s: %w", id, err)
+	}
+	return b, nil
+}
+
+// PresetSpec parses and validates the shipped preset spec for a dataset.
+func PresetSpec(id DatasetID) (*Spec, error) {
+	raw, err := PresetSpecJSON(id)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ParseSpec(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("workload: preset %s: %w", id, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: preset %s: %w", id, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,47 @@
+package workload
+
+import "fmt"
+
+// SLOClass labels a task's service objective tier. The zero value is
+// best-effort, so tasks and models built before the spec engine carry the
+// weakest objective by default.
+type SLOClass int
+
+// The three service classes, weakest first. Reward shaping and per-class
+// metrics in cloudsim are indexed by these values.
+const (
+	SLOBestEffort SLOClass = iota
+	SLOStandard
+	SLOCritical
+	numSLOClasses
+)
+
+// NumSLOClasses is the number of service classes.
+const NumSLOClasses = int(numSLOClasses)
+
+// String returns the spec-file spelling of the class.
+func (c SLOClass) String() string {
+	switch c {
+	case SLOBestEffort:
+		return "best-effort"
+	case SLOStandard:
+		return "standard"
+	case SLOCritical:
+		return "critical"
+	}
+	return fmt.Sprintf("SLOClass(%d)", int(c))
+}
+
+// ParseSLOClass parses the spec-file spelling. The empty string maps to
+// best-effort so specs may omit the field.
+func ParseSLOClass(s string) (SLOClass, error) {
+	switch s {
+	case "", "best-effort":
+		return SLOBestEffort, nil
+	case "standard":
+		return SLOStandard, nil
+	case "critical":
+		return SLOCritical, nil
+	}
+	return 0, fmt.Errorf("unknown slo_class %q (want best-effort, standard or critical)", s)
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec hammers the strict parser and validator with arbitrary
+// bytes: parsing must never panic, and any spec that survives validation
+// must compile and sample well-formed tasks (ordered arrivals, positive
+// resources, in-range SLO classes).
+func FuzzParseSpec(f *testing.F) {
+	for _, id := range AllDatasets() {
+		raw, err := PresetSpecJSON(id)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(raw))
+	}
+	f.Add(`{"name": "x", "clients": []}`)
+	f.Add(`{"clients": [{"id": "a", "rate_fraction": 1e999}]}`)
+	f.Add(`{"clients": [{"id": "a", "rate_fraction": 1,
+	  "arrival": {"process": "weibull", "rate_per_slot": 1, "burstiness": 0.5, "gap_shape": 1e-12},
+	  "cpu": {"choices": [1, 2], "weights": [0, 0]},
+	  "memory": {"dist": "quantile", "quantiles": [4, 2], "min": 1, "max": 8},
+	  "duration": {"median": 5, "min": 1, "max": 10}}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := ParseSpec(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		comp, err := s.Compile()
+		if err != nil {
+			return
+		}
+		// Sampling slot-scanning processes at vanishing rates is valid but
+		// unboundedly slow; only exercise generators the fuzz budget can
+		// afford.
+		for _, cl := range comp.Clients {
+			m := cl.Model
+			switch m.Arrival {
+			case ArrivalBurst:
+				if m.Burstiness*m.RatePerSlot < 1e-3 {
+					return
+				}
+			case ArrivalPoisson:
+				if m.RatePerSlot < 1e-3 {
+					return
+				}
+			}
+		}
+		tasks := comp.Sample(rand.New(rand.NewSource(1)), 50)
+		if len(tasks) != 50 {
+			t.Fatalf("sampled %d tasks, want 50", len(tasks))
+		}
+		for i, tk := range tasks {
+			if tk.ID != i {
+				t.Fatalf("task %d has ID %d", i, tk.ID)
+			}
+			if i > 0 && tk.Arrival < tasks[i-1].Arrival {
+				t.Fatalf("arrival regression at task %d", i)
+			}
+			if tk.CPU < 1 || !(tk.Mem > 0) || tk.Duration < 1 {
+				t.Fatalf("invalid task %+v", tk)
+			}
+			if tk.SLO < 0 || int(tk.SLO) >= NumSLOClasses {
+				t.Fatalf("task %d has SLO class %d", i, int(tk.SLO))
+			}
+		}
+	})
+}

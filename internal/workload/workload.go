@@ -31,6 +31,7 @@ type Task struct {
 	Mem      float64 // requested memory in GiB
 	Duration int     // execution time in slots on any VM that fits it
 	Source   DatasetID
+	SLO      SLOClass // service tier (zero value: best-effort)
 }
 
 // DatasetID identifies one of the ten modelled workload datasets.
@@ -75,89 +76,207 @@ func AllDatasets() []DatasetID {
 	return out
 }
 
+// ArrivalKind selects a Model's arrival process. The zero value is the
+// legacy bursty process, so models built before the spec engine behave
+// exactly as they always did.
+type ArrivalKind int
+
+// The four supported arrival processes.
+const (
+	// ArrivalBurst is the legacy process: at each slot a geometric batch
+	// (mean 1/Burstiness) materializes with probability Burstiness·rate.
+	ArrivalBurst ArrivalKind = iota
+	// ArrivalPoisson draws an independent Poisson count of tasks per slot
+	// at the diurnally modulated rate; Burstiness is unused.
+	ArrivalPoisson
+	// ArrivalGammaBurst separates geometric batches by gamma-distributed
+	// gaps of shape GapShape and mean 1/(rate·Burstiness).
+	ArrivalGammaBurst
+	// ArrivalWeibull separates geometric batches by Weibull-distributed
+	// gaps of shape GapShape and mean 1/(rate·Burstiness).
+	ArrivalWeibull
+	numArrivalKinds
+)
+
+// DistKind selects a marginal distribution family for memory or duration.
+// The zero value keeps the legacy lognormal forms.
+type DistKind int
+
+// The supported distribution families.
+const (
+	// DistLogNormal is the legacy family: memory is lognormal around
+	// CPU·MemPerCPU, duration is lognormal(DurMu, DurSigma).
+	DistLogNormal DistKind = iota
+	// DistQuantile samples by inverse-CDF over an empirical quantile grid
+	// (MemQuantiles / DurQuantiles), linearly interpolated.
+	DistQuantile
+	numDistKinds
+)
+
 // Model is the generative model for one dataset. All fields are exported so
-// experiments can construct ad-hoc variants (e.g. for ablations).
+// experiments can construct ad-hoc variants (e.g. for ablations). The zero
+// values of the spec-engine fields (Arrival, MemDist, DurDist, SLO,
+// GapShape) reproduce the original generator bit-for-bit.
 type Model struct {
 	ID   DatasetID
 	Name string
+
+	// SLO is stamped onto every sampled task.
+	SLO SLOClass
 
 	// CPU request distribution: weighted discrete choices.
 	CPUChoices []int
 	CPUWeights []float64
 
-	// Memory per requested vCPU in GiB: lognormal around MemPerCPU with
-	// multiplicative spread MemSpread (sigma of the underlying normal).
-	MemPerCPU float64
-	MemSpread float64
-	MemMin    float64
-	MemMax    float64
+	// Memory request in GiB. DistLogNormal: lognormal around
+	// CPU·MemPerCPU with multiplicative spread MemSpread (sigma of the
+	// underlying normal). DistQuantile: inverse-CDF over MemQuantiles.
+	// Both are clamped to [MemMin, MemMax] and quantized to 0.25 GiB.
+	MemDist      DistKind
+	MemPerCPU    float64
+	MemSpread    float64
+	MemQuantiles []float64
+	MemMin       float64
+	MemMax       float64
 
-	// Execution time in slots: lognormal(mu, sigma), truncated to
+	// Execution time in slots. DistLogNormal: lognormal(mu, sigma).
+	// DistQuantile: inverse-CDF over DurQuantiles. Both truncated to
 	// [DurMin, DurMax].
-	DurMu    float64
-	DurSigma float64
-	DurMin   int
-	DurMax   int
+	DurDist      DistKind
+	DurMu        float64
+	DurSigma     float64
+	DurQuantiles []float64
+	DurMin       int
+	DurMax       int
 
 	// Arrival process: mean tasks per slot with sinusoidal diurnal
 	// modulation of the given relative amplitude and period, plus
 	// burstiness in (0,1]: lower values produce heavier clumping
-	// (geometric batch sizes with mean 1/Burstiness).
+	// (geometric batch sizes with mean 1/Burstiness). GapShape is the
+	// gamma/weibull shape parameter of the gap-based processes.
+	Arrival       ArrivalKind
 	RatePerSlot   float64
 	DiurnalAmp    float64
 	DiurnalPeriod int
 	Burstiness    float64
+	GapShape      float64
 }
 
 // Validate checks internal consistency of the model parameters.
 func (m *Model) Validate() error {
+	for _, f := range []float64{m.MemPerCPU, m.MemSpread, m.MemMin, m.MemMax,
+		m.DurMu, m.DurSigma, m.RatePerSlot, m.DiurnalAmp, m.Burstiness, m.GapShape} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("workload: %s: non-finite model parameter", m.Name)
+		}
+	}
 	switch {
 	case len(m.CPUChoices) == 0 || len(m.CPUChoices) != len(m.CPUWeights):
 		return fmt.Errorf("workload: %s: CPU choices/weights mismatch", m.Name)
-	case m.MemPerCPU <= 0 || m.MemMin <= 0 || m.MemMax < m.MemMin:
+	case m.MemMin <= 0 || m.MemMax < m.MemMin:
 		return fmt.Errorf("workload: %s: invalid memory parameters", m.Name)
 	case m.DurMin < 1 || m.DurMax < m.DurMin:
 		return fmt.Errorf("workload: %s: invalid duration bounds", m.Name)
 	case m.RatePerSlot <= 0:
 		return fmt.Errorf("workload: %s: non-positive arrival rate", m.Name)
-	case m.Burstiness <= 0 || m.Burstiness > 1:
-		return fmt.Errorf("workload: %s: burstiness must be in (0,1]", m.Name)
 	case m.DiurnalPeriod <= 0:
 		return fmt.Errorf("workload: %s: diurnal period must be positive", m.Name)
+	case m.SLO < 0 || int(m.SLO) >= NumSLOClasses:
+		return fmt.Errorf("workload: %s: unknown SLO class %d", m.Name, int(m.SLO))
+	}
+	for _, c := range m.CPUChoices {
+		if c < 1 {
+			return fmt.Errorf("workload: %s: non-positive CPU choice %d", m.Name, c)
+		}
 	}
 	total := 0.0
 	for _, w := range m.CPUWeights {
-		if w < 0 {
-			return fmt.Errorf("workload: %s: negative CPU weight", m.Name)
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("workload: %s: invalid CPU weight %v", m.Name, w)
 		}
 		total += w
 	}
 	if total <= 0 {
 		return fmt.Errorf("workload: %s: zero total CPU weight", m.Name)
 	}
+	switch m.Arrival {
+	case ArrivalPoisson:
+		// Per-slot Poisson counts: Burstiness is unused.
+	case ArrivalBurst, ArrivalGammaBurst, ArrivalWeibull:
+		if m.Burstiness <= 0 || m.Burstiness > 1 {
+			return fmt.Errorf("workload: %s: burstiness must be in (0,1]", m.Name)
+		}
+		if m.Arrival != ArrivalBurst && (m.GapShape < 0.01 || m.GapShape > 1000) {
+			// The bounds keep the gamma/weibull mean-matching numerically
+			// sound (Γ(1+1/k) overflows for tiny shapes).
+			return fmt.Errorf("workload: %s: gap shape must be in [0.01, 1000]", m.Name)
+		}
+	default:
+		return fmt.Errorf("workload: %s: unknown arrival process %d", m.Name, int(m.Arrival))
+	}
+	switch m.MemDist {
+	case DistLogNormal:
+		if m.MemPerCPU <= 0 {
+			return fmt.Errorf("workload: %s: invalid memory parameters", m.Name)
+		}
+	case DistQuantile:
+		if err := validateQuantiles(m.MemQuantiles); err != nil {
+			return fmt.Errorf("workload: %s: memory quantiles: %w", m.Name, err)
+		}
+	default:
+		return fmt.Errorf("workload: %s: unknown memory distribution %d", m.Name, int(m.MemDist))
+	}
+	switch m.DurDist {
+	case DistLogNormal:
+		// Any finite (mu, sigma) is usable; bounds clamp the tails.
+	case DistQuantile:
+		if err := validateQuantiles(m.DurQuantiles); err != nil {
+			return fmt.Errorf("workload: %s: duration quantiles: %w", m.Name, err)
+		}
+	default:
+		return fmt.Errorf("workload: %s: unknown duration distribution %d", m.Name, int(m.DurDist))
+	}
 	return nil
 }
 
-// sampleCPU draws a vCPU request.
-func (m *Model) sampleCPU(rng *rand.Rand) int {
-	total := 0.0
-	for _, w := range m.CPUWeights {
-		total += w
+// validateQuantiles checks an empirical quantile grid for inverse-CDF
+// sampling: at least two finite, non-negative, non-decreasing points.
+func validateQuantiles(q []float64) error {
+	if len(q) < 2 {
+		return fmt.Errorf("need at least 2 points, got %d", len(q))
 	}
-	u := rng.Float64() * total
-	acc := 0.0
-	for i, w := range m.CPUWeights {
-		acc += w
-		if u < acc {
-			return m.CPUChoices[i]
+	for i, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("point %d is %v, want finite and non-negative", i, v)
+		}
+		if i > 0 && v < q[i-1] {
+			return fmt.Errorf("points must be non-decreasing (point %d: %v < %v)", i, v, q[i-1])
 		}
 	}
-	return m.CPUChoices[len(m.CPUChoices)-1]
+	return nil
 }
 
-// sampleMem draws a memory request correlated with the vCPU request.
+// sampleQuantile inverts an empirical CDF given as a quantile grid with
+// evenly spaced probabilities, linearly interpolating between points.
+func sampleQuantile(q []float64, u float64) float64 {
+	pos := u * float64(len(q)-1)
+	lo := int(pos)
+	if lo >= len(q)-1 {
+		return q[len(q)-1]
+	}
+	frac := pos - float64(lo)
+	return q[lo] + frac*(q[lo+1]-q[lo])
+}
+
+// sampleMem draws a memory request; the lognormal family correlates it with
+// the vCPU request.
 func (m *Model) sampleMem(rng *rand.Rand, cpu int) float64 {
-	mem := float64(cpu) * m.MemPerCPU * math.Exp(m.MemSpread*rng.NormFloat64())
+	var mem float64
+	if m.MemDist == DistQuantile {
+		mem = sampleQuantile(m.MemQuantiles, rng.Float64())
+	} else {
+		mem = float64(cpu) * m.MemPerCPU * math.Exp(m.MemSpread*rng.NormFloat64())
+	}
 	if mem < m.MemMin {
 		mem = m.MemMin
 	}
@@ -170,7 +289,12 @@ func (m *Model) sampleMem(rng *rand.Rand, cpu int) float64 {
 
 // sampleDuration draws an execution time in slots.
 func (m *Model) sampleDuration(rng *rand.Rand) int {
-	d := int(math.Round(math.Exp(m.DurMu + m.DurSigma*rng.NormFloat64())))
+	var d int
+	if m.DurDist == DistQuantile {
+		d = int(math.Round(sampleQuantile(m.DurQuantiles, rng.Float64())))
+	} else {
+		d = int(math.Round(math.Exp(m.DurMu + m.DurSigma*rng.NormFloat64())))
+	}
 	if d < m.DurMin {
 		d = m.DurMin
 	}
@@ -180,48 +304,25 @@ func (m *Model) sampleDuration(rng *rand.Rand) int {
 	return d
 }
 
-// Sample generates n tasks with non-decreasing arrival slots.
+// Sample generates n tasks with non-decreasing arrival slots by draining a
+// Stream, so both paths share one generator and consume the RNG in exactly
+// the same order (pinned by TestStreamMatchesSample).
 //
-// Arrivals follow a bursty, diurnally modulated process: at each slot the
-// expected batch count is RatePerSlot·(1 + DiurnalAmp·sin(2πt/period)); a
-// batch materializes with probability Burstiness·rate (capped), and batch
-// sizes are geometric with mean 1/Burstiness, so the marginal rate matches
-// RatePerSlot while low Burstiness yields heavy clumping.
+// Under the default ArrivalBurst process, arrivals are bursty and diurnally
+// modulated: at each slot the expected batch count is
+// RatePerSlot·(1 + DiurnalAmp·sin(2πt/period)); a batch materializes with
+// probability Burstiness·rate (capped), and batch sizes are geometric with
+// mean 1/Burstiness, so the marginal rate matches RatePerSlot while low
+// Burstiness yields heavy clumping. See ArrivalKind for the alternatives.
 func (m *Model) Sample(rng *rand.Rand, n int) []Task {
-	if err := m.Validate(); err != nil {
-		panic(err)
-	}
+	s := m.Stream(rng, n)
 	tasks := make([]Task, 0, n)
-	slot := 0
-	for len(tasks) < n {
-		phase := 2 * math.Pi * float64(slot%m.DiurnalPeriod) / float64(m.DiurnalPeriod)
-		rate := m.RatePerSlot * (1 + m.DiurnalAmp*math.Sin(phase))
-		if rate < 0 {
-			rate = 0
+	for {
+		t, ok := s.Next()
+		if !ok {
+			break
 		}
-		pBatch := m.Burstiness * rate
-		if pBatch > 1 {
-			pBatch = 1
-		}
-		if rng.Float64() < pBatch {
-			// Geometric batch with mean 1/Burstiness.
-			batch := 1
-			for rng.Float64() > m.Burstiness && batch < 64 {
-				batch++
-			}
-			for b := 0; b < batch && len(tasks) < n; b++ {
-				cpu := m.sampleCPU(rng)
-				tasks = append(tasks, Task{
-					ID:       len(tasks),
-					Arrival:  slot,
-					CPU:      cpu,
-					Mem:      m.sampleMem(rng, cpu),
-					Duration: m.sampleDuration(rng),
-					Source:   m.ID,
-				})
-			}
-		}
-		slot++
+		tasks = append(tasks, t)
 	}
 	return tasks
 }
