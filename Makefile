@@ -17,9 +17,9 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci vet staticcheck build test race test-race fuzz-smoke bench bench-env bench-update perf scale scale-smoke metrics-smoke swarm-smoke spec-smoke
+.PHONY: ci vet staticcheck build test race test-race fuzz-smoke bench bench-env bench-update bench-agg perf scale scale-smoke metrics-smoke swarm-smoke spec-smoke
 
-ci: vet staticcheck build race test-race bench-smoke bench-env bench-update scale-smoke metrics-smoke swarm-smoke spec-smoke
+ci: vet staticcheck build race test-race bench-smoke bench-env bench-update bench-agg scale-smoke metrics-smoke swarm-smoke spec-smoke
 
 vet:
 	$(GO) vet ./...
@@ -73,6 +73,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCSVStream -fuzztime 10s ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzStreamInject -fuzztime 10s ./internal/cloudsim
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/fedcore
 
 # One iteration of each microbenchmark: catches panics/regressions in the
 # bench harness itself without paying for a full measurement run.
@@ -90,6 +91,11 @@ bench-env:
 # check for changes touching the update pipeline.
 bench-update:
 	GO="$(GO)" ./scripts/bench_alloc_guard.sh update
+
+# The federation data-plane slice of the allocation guard: one steady-state
+# round (K encodes, K decodes, pooled aggregation) must allocate nothing.
+bench-agg:
+	GO="$(GO)" BENCHTIME="$${BENCHTIME:-50x}" ./scripts/bench_alloc_guard.sh agg
 
 bench:
 	$(GO) test ./internal/rl/ -run xxx -bench 'BenchmarkRolloutStep|BenchmarkPPOUpdate' -benchmem

@@ -142,6 +142,9 @@ func runPerf(bc benchConfig) error {
 	if err := runTrainPhases(bc); err != nil {
 		return err
 	}
+	if err := runFedAggregate(bc); err != nil {
+		return err
+	}
 	fmt.Println()
 	return runClusterScale(bc)
 }

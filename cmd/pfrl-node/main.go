@@ -76,6 +76,14 @@ func main() {
 			"async: drop deltas staler than this many rounds (-1 = unbounded, 0 = fresh only)")
 		buffer = flag.Int("buffer", 0,
 			"async: commit an aggregation round every B accepted arrivals (0 = K)")
+		// Data-plane knobs. The server owns the codec config: clients adopt
+		// it from the join reply, so only server/demo/swarm modes read these.
+		codecTier = flag.String("codec", "identity",
+			"server/demo/swarm: payload quantization tier (identity | f32 | i16 | i8)")
+		codecDelta = flag.Bool("codec-delta", false,
+			"server/demo/swarm: delta-encode uplink payloads against the last delivered global")
+		aggWorkers = flag.Int("agg-workers", 0,
+			"aggregation worker goroutines for large payloads (0 = GOMAXPROCS; any count is bit-identical)")
 		// Observability knobs.
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve Prometheus /metrics and /debug/pprof/ on this address (empty = disabled)")
@@ -83,6 +91,15 @@ func main() {
 			"append JSONL training/federation events to this file (empty = disabled)")
 	)
 	flag.Parse()
+
+	tier, err := fedcore.ParseTier(*codecTier)
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec := fedcore.CodecConfig{Tier: tier, Delta: *codecDelta}
+	if *aggWorkers > 0 {
+		fedcore.SetAggWorkers(*aggWorkers)
+	}
 
 	if bound, err := startMetrics(*metricsAddr); err != nil {
 		log.Fatal(err)
@@ -116,13 +133,13 @@ func main() {
 
 	switch *mode {
 	case "server":
-		err = runServer(*addr, *clients, *k, *seed, *roundTimeout, acfg)
+		err = runServer(*addr, *clients, *k, *seed, *roundTimeout, acfg, codec)
 	case "client":
 		err = runClient(*addr, *dataset, *tasks, *rounds, *comm, *seed, opts, faults)
 	case "demo":
-		err = runDemo(*clients, *k, *rounds, *comm, *tasks, *seed, *roundTimeout, opts, faults, acfg)
+		err = runDemo(*clients, *k, *rounds, *comm, *tasks, *seed, *roundTimeout, opts, faults, acfg, codec)
 	case "swarm":
-		err = runSwarm(*clients, *k, *rounds, *comm, *tasks, *seed, *stalenessBound, *buffer, *retries, faults)
+		err = runSwarm(*clients, *k, *rounds, *comm, *tasks, *seed, *stalenessBound, *buffer, *retries, faults, codec)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -193,7 +210,7 @@ type asyncConfig struct {
 	buffer         int
 }
 
-func runServer(addr string, clients, k int, seed int64, roundTimeout time.Duration, acfg asyncConfig) error {
+func runServer(addr string, clients, k int, seed int64, roundTimeout time.Duration, acfg asyncConfig, codec fedcore.CodecConfig) error {
 	// The server needs ψ_G^(0) with the federation's network shape.
 	spec, err := specFor("google", seed)
 	if err != nil {
@@ -219,6 +236,7 @@ func runServer(addr string, clients, k int, seed int64, roundTimeout time.Durati
 		Async:          acfg.on,
 		StalenessBound: acfg.stalenessBound,
 		Buffer:         acfg.buffer,
+		Codec:          codec,
 	})
 	if err != nil {
 		return err
@@ -288,7 +306,7 @@ func printStats(rc *fednet.RemoteClient) {
 		rc.ID(), st.Retries, st.Timeouts, st.Resyncs)
 }
 
-func runDemo(clients, k, rounds, comm, tasks int, seed int64, roundTimeout time.Duration, opts fednet.Options, faults fed.FaultSpec, acfg asyncConfig) error {
+func runDemo(clients, k, rounds, comm, tasks int, seed int64, roundTimeout time.Duration, opts fednet.Options, faults fed.FaultSpec, acfg asyncConfig, codec fedcore.CodecConfig) error {
 	specs := core.ScaleSpecs(core.Table3Specs(), 4)
 	if clients > len(specs) {
 		clients = len(specs)
@@ -313,6 +331,7 @@ func runDemo(clients, k, rounds, comm, tasks int, seed int64, roundTimeout time.
 		Async:          acfg.on,
 		StalenessBound: acfg.stalenessBound,
 		Buffer:         acfg.buffer,
+		Codec:          codec,
 	})
 	if err != nil {
 		return err
@@ -394,7 +413,7 @@ func runDemo(clients, k, rounds, comm, tasks int, seed int64, roundTimeout time.
 // runSwarm drives the deterministic many-client async chaos harness: N
 // in-process heterogeneous clients over loopback fednet, fault injector on,
 // everything seeded. Same seed, same output.
-func runSwarm(clients, k, rounds, comm, tasks int, seed int64, stalenessBound, buffer, retries int, faults fed.FaultSpec) error {
+func runSwarm(clients, k, rounds, comm, tasks int, seed int64, stalenessBound, buffer, retries int, faults fed.FaultSpec, codec fedcore.CodecConfig) error {
 	res, err := fednet.RunSwarm(fednet.SwarmConfig{
 		Clients:        clients,
 		K:              k,
@@ -406,6 +425,7 @@ func runSwarm(clients, k, rounds, comm, tasks int, seed int64, stalenessBound, b
 		Seed:           seed,
 		Faults:         faults,
 		Retries:        retries,
+		Codec:          codec,
 	})
 	if err != nil {
 		return err
@@ -418,6 +438,8 @@ func runSwarm(clients, k, rounds, comm, tasks int, seed int64, stalenessBound, b
 		fmt.Printf("  injected faults: %d drops, %d delays, %d duplicates, %d corruptions\n",
 			res.Faults.Drops, res.Faults.Delays, res.Faults.Duplicates, res.Faults.Corruptions)
 	}
+	fmt.Printf("  wire: %d bytes moved, %.2fx compression\n",
+		res.Comm.Bytes(), res.Comm.CompressionRatio())
 	fmt.Printf("  final mean reward: %.2f over %d params\n", res.MeanReward, len(res.Global))
 	return nil
 }

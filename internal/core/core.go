@@ -247,6 +247,15 @@ type ExperimentConfig struct {
 	// unshaped paper reward exactly.
 	SLOWaitCost   [workload.NumSLOClasses]float64
 	SLOWaitTarget [workload.NumSLOClasses]int
+	// Codec configures the federation's payload wire codec: quantization
+	// tier and delta encoding (§ communication cost). The zero value is the
+	// lossless identity tier, which reproduces uncompressed runs bit-exactly.
+	// Ignored by AlgPPO (no federation).
+	Codec fedcore.CodecConfig
+	// AggWorkers overrides the aggregation worker count for this run
+	// (0 = GOMAXPROCS). Any worker count produces bit-identical globals;
+	// the knob trades wall-clock for CPU on large payloads.
+	AggWorkers int
 }
 
 // DefaultExperiment returns the scaled-down counterpart of the paper's main
@@ -344,6 +353,13 @@ type TrainResult struct {
 	// across goroutines, and attribution is exact only for sequential Train
 	// calls (how the bench harness runs them).
 	Phases obs.PhaseTimes
+	// Comm is the federation's communication ledger: scalar counts plus
+	// measured wire bytes of every codec frame (zero for AlgPPO).
+	Comm fed.CommStats
+	// CompressionRatio is raw payload bytes over measured wire bytes for
+	// the whole run — 1.0 under the identity tier, >1 under quantization
+	// (0 for AlgPPO, which moves no payloads).
+	CompressionRatio float64
 }
 
 // recordPoolStats fills the pool-traffic fields from a Stats snapshot taken
@@ -435,9 +451,15 @@ func Train(alg Algorithm, cfg ExperimentConfig) (*TrainResult, error) {
 			k = fedcore.DefaultK(len(clients))
 		}
 	}
+	if cfg.AggWorkers > 0 {
+		// Process-wide knob: concurrent Train calls share it, like the
+		// tensor pool and phase timers.
+		fedcore.SetAggWorkers(cfg.AggWorkers)
+	}
 	f, err := fed.New(clients, transport, agg, fed.Options{
 		K: k, CommEvery: cfg.CommEvery, Seed: cfg.Seed, Parallel: cfg.Parallel,
 		Async: cfg.Async, StalenessBound: cfg.StalenessBound, Buffer: cfg.Buffer,
+		Codec: cfg.Codec,
 	})
 	if err != nil {
 		return nil, err
@@ -464,6 +486,8 @@ func Train(alg Algorithm, cfg ExperimentConfig) (*TrainResult, error) {
 	res.MeanCurve = fed.MeanRewardCurve(clients)
 	res.recordPoolStats(startGets, startHits)
 	res.Phases = obs.GlobalTimers().Snapshot().Sub(phaseStart)
+	res.Comm = f.Comm()
+	res.CompressionRatio = res.Comm.CompressionRatio()
 	return res, nil
 }
 

@@ -1,0 +1,59 @@
+package fed
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fedcore"
+)
+
+// benchDim matches the public-critic payload width the frozen baselines were
+// measured at (538-feature observation, 64-unit hidden layer).
+const benchDim = 34561
+
+// BenchmarkFedAggregate measures one steady-state data-plane round — K
+// client encodes, K server decodes, and the pooled FedAvg aggregation — the
+// composite that scripts/bench_alloc_guard.sh holds to zero allocs/op.
+func BenchmarkFedAggregate(b *testing.B) {
+	for _, k := range []int{8, 64} {
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			benchFedAggregate(b, k, benchDim, fedcore.CodecConfig{})
+		})
+	}
+}
+
+func benchFedAggregate(b *testing.B, k, dim int, codec fedcore.CodecConfig) {
+	rng := rand.New(rand.NewSource(7))
+	uploads := make([]Payload, k)
+	encs := make([]*fedcore.Encoder, k)
+	bufs := make([]Payload, k)
+	for i := range uploads {
+		uploads[i] = make(Payload, dim)
+		for j := range uploads[i] {
+			uploads[i][j] = rng.NormFloat64()
+		}
+		encs[i] = fedcore.NewEncoder(codec)
+	}
+	agg := FedAvg{}
+	var arena fedcore.PayloadArena
+	scratch := make([]Payload, k)
+	round := func() Payload {
+		for i := range uploads {
+			dec, _, err := fedcore.DecodeFrame(encs[i].Encode(uploads[i]), nil, bufs[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			bufs[i] = dec
+			scratch[i] = dec
+		}
+		_, global := agg.AggregateInto(scratch, &arena)
+		return global
+	}
+	round() // warm the encoders, decode buffers, and arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+}

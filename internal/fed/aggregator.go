@@ -22,24 +22,16 @@ func AggregatePartial(agg Aggregator, uploads []Payload, prevGlobal Payload) (pe
 	return fedcore.AggregatePartial(agg, uploads, prevGlobal)
 }
 
+// meanPayload is the allocating mean used by the legacy Aggregate paths and
+// SecureFedAvg. It reduces through fedcore.ReduceMeanInto, so its
+// accumulation order — and therefore its bits — match the pooled fast path
+// exactly.
 func meanPayload(uploads []Payload) Payload {
 	if len(uploads) == 0 {
 		panic("fed: aggregate of zero uploads")
 	}
-	dim := len(uploads[0])
-	out := make(Payload, dim)
-	for i, u := range uploads {
-		if len(u) != dim {
-			panic(fmt.Sprintf("fed: upload %d has %d params, want %d", i, len(u), dim))
-		}
-		for j, v := range u {
-			out[j] += v
-		}
-	}
-	inv := 1.0 / float64(len(uploads))
-	for j := range out {
-		out[j] *= inv
-	}
+	out := make(Payload, len(uploads[0]))
+	fedcore.ReduceMeanInto(out, uploads)
 	return out
 }
 
@@ -58,6 +50,16 @@ func (FedAvg) Aggregate(uploads []Payload) ([]Payload, Payload) {
 		personalized[i] = append(Payload(nil), global...)
 	}
 	return personalized, global
+}
+
+// AggregateInto implements fedcore.IntoAggregator: the mean reduces into the
+// arena's global buffer and every personalized view aliases it — FedAvg
+// hands all participants the identical model, so the seed-era K× copies were
+// pure overhead. Results are valid until the arena's next round.
+func (FedAvg) AggregateInto(uploads []Payload, arena *fedcore.PayloadArena) ([]Payload, Payload) {
+	global := arena.Global(len(uploads[0]))
+	fedcore.ReduceMeanInto(global, uploads)
+	return arena.Alias(len(uploads), global), global
 }
 
 // Momentum is the server-side momentum aggregator standing in for MFPO
@@ -86,24 +88,56 @@ func (*Momentum) Name() string { return "MFPO" }
 // Aggregate implements Aggregator.
 func (m *Momentum) Aggregate(uploads []Payload) ([]Payload, Payload) {
 	mean := meanPayload(uploads)
-	if m.global == nil {
-		m.global = append(Payload(nil), mean...)
-		m.velocity = make(Payload, len(mean))
-	} else {
-		if len(mean) != len(m.global) {
-			panic(fmt.Sprintf("fed: momentum dim changed %d -> %d", len(m.global), len(mean)))
-		}
-		for j := range m.global {
-			delta := mean[j] - m.global[j]
-			m.velocity[j] = m.Beta*m.velocity[j] + delta
-			m.global[j] += m.velocity[j]
-		}
-	}
+	m.step(mean)
 	personalized := make([]Payload, len(uploads))
 	for i := range personalized {
 		personalized[i] = append(Payload(nil), m.global...)
 	}
 	return personalized, append(Payload(nil), m.global...)
+}
+
+// AggregateInto implements fedcore.IntoAggregator. The mean reduces into the
+// arena buffer, the velocity/global column update fans out across workers
+// (elementwise, so bit-identical at any width), and the personalized views
+// alias the aggregator's own global — momentum hands everyone the same
+// model. Results are valid until the next round; the engine copy-installs
+// the global.
+func (m *Momentum) AggregateInto(uploads []Payload, arena *fedcore.PayloadArena) ([]Payload, Payload) {
+	mean := arena.Global(len(uploads[0]))
+	fedcore.ReduceMeanInto(mean, uploads)
+	m.step(mean)
+	return arena.Alias(len(uploads), m.global), m.global
+}
+
+// step applies the velocity update (or bootstraps state on first contact).
+func (m *Momentum) step(mean Payload) {
+	if m.global == nil {
+		m.global = append(Payload(nil), mean...)
+		m.velocity = make(Payload, len(mean))
+		return
+	}
+	if len(mean) != len(m.global) {
+		panic(fmt.Sprintf("fed: momentum dim changed %d -> %d", len(m.global), len(mean)))
+	}
+	if dim := len(m.global); fedcore.SerialChunk(dim, dim) {
+		// The closure literal lives in the else branch only: building it
+		// here would heap-allocate every round even when it runs serially.
+		m.stepChunk(mean, 0, dim)
+	} else {
+		fedcore.ParallelChunks(dim, dim, func(lo, hi int) { m.stepChunk(mean, lo, hi) })
+	}
+}
+
+// stepChunk applies the velocity update over columns [lo, hi) — the shared
+// kernel of the serial and parallel paths.
+func (m *Momentum) stepChunk(mean Payload, lo, hi int) {
+	beta := m.Beta
+	g, v, u := m.global[lo:hi], m.velocity[lo:hi], mean[lo:hi]
+	for j := range g {
+		delta := u[j] - g[j]
+		v[j] = beta*v[j] + delta
+		g[j] += v[j]
+	}
 }
 
 // Attention is PFRL-DM's personalizing aggregator (§4.4, Algorithm 1
@@ -134,18 +168,29 @@ func (a *Attention) Aggregate(uploads []Payload) ([]Payload, Payload) {
 	k := len(uploads)
 	dim := len(uploads[0])
 	personalized := make([]Payload, k)
-	for i := 0; i < k; i++ {
-		p := make(Payload, dim)
-		for j := 0; j < k; j++ {
-			wij := w[i][j]
-			for d, v := range uploads[j] {
-				p[d] += wij * v
-			}
-		}
-		personalized[i] = p
+	for i := range personalized {
+		personalized[i] = make(Payload, dim)
 	}
+	fedcore.WeightedMixInto(personalized, w, uploads)
 	// Eq. (22): ψ_G = mean of the personalized models.
 	global := meanPayload(personalized)
+	return personalized, global
+}
+
+// AggregateInto implements fedcore.IntoAggregator: the Eq. 21 mix writes
+// into arena-carved views and the Eq. 22 mean into the arena global, both
+// through the parallel tree-reduce. The attention weight computation itself
+// still allocates (it is O(K²·heads), negligible next to the O(K·dim) data
+// plane). Results are valid until the arena's next round.
+func (a *Attention) AggregateInto(uploads []Payload, arena *fedcore.PayloadArena) ([]Payload, Payload) {
+	w := a.Gen.Weights(uploads)
+	a.LastWeights = w
+	k := len(uploads)
+	dim := len(uploads[0])
+	personalized := arena.Payloads(k, dim)
+	fedcore.WeightedMixInto(personalized, w, uploads)
+	global := arena.Global(dim)
+	fedcore.ReduceMeanInto(global, personalized)
 	return personalized, global
 }
 
@@ -169,18 +214,24 @@ func (s StaticWeights) Aggregate(uploads []Payload) ([]Payload, Payload) {
 	}
 	dim := len(uploads[0])
 	personalized := make([]Payload, k)
-	for i := 0; i < k; i++ {
-		if len(s.W[i]) != k {
-			panic("fed: static weight matrix not square")
-		}
-		p := make(Payload, dim)
-		for j := 0; j < k; j++ {
-			wij := s.W[i][j]
-			for d, v := range uploads[j] {
-				p[d] += wij * v
-			}
-		}
-		personalized[i] = p
+	for i := range personalized {
+		personalized[i] = make(Payload, dim)
 	}
+	fedcore.WeightedMixInto(personalized, s.W, uploads)
 	return personalized, meanPayload(personalized)
+}
+
+// AggregateInto implements fedcore.IntoAggregator with the same arena-backed
+// mix-then-mean shape as Attention, minus the weight generation.
+func (s StaticWeights) AggregateInto(uploads []Payload, arena *fedcore.PayloadArena) ([]Payload, Payload) {
+	k := len(uploads)
+	if len(s.W) != k {
+		panic(fmt.Sprintf("fed: static weight matrix is %dx? for %d uploads", len(s.W), k))
+	}
+	dim := len(uploads[0])
+	personalized := arena.Payloads(k, dim)
+	fedcore.WeightedMixInto(personalized, s.W, uploads)
+	global := arena.Global(dim)
+	fedcore.ReduceMeanInto(global, personalized)
+	return personalized, global
 }

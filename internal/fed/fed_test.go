@@ -451,8 +451,22 @@ func TestCommStatsAccounting(t *testing.T) {
 	if stats.DownloadScalars != 3*size {
 		t.Fatalf("downloads %d, want %d", stats.DownloadScalars, 3*size)
 	}
-	if stats.Total() != 5*size || stats.Bytes() != 40*size {
+	if stats.Total() != 5*size {
 		t.Fatalf("totals wrong: %+v", stats)
+	}
+	// Measured wire bytes: 5 identity frames, each a 20-byte header plus
+	// 8 bytes per scalar.
+	frame := int64(fedcore.FrameLen(fedcore.TierIdentity, int(size)))
+	if stats.Bytes() != 5*frame {
+		t.Fatalf("measured bytes %d, want %d: %+v", stats.Bytes(), 5*frame, stats)
+	}
+	if stats.RawBytes() != 8*stats.Total() {
+		t.Fatalf("raw bytes %d, want %d", stats.RawBytes(), 8*stats.Total())
+	}
+	// Identity frames pay the header, so the "compression" ratio sits just
+	// below 1.
+	if r := stats.CompressionRatio(); r <= 0.99 || r >= 1 {
+		t.Fatalf("identity compression ratio %v", r)
 	}
 }
 

@@ -59,6 +59,34 @@ type Federation struct {
 
 	comm CommStats
 
+	// Wire codec state. Every payload crossing the in-process "wire" is
+	// framed and decoded through the same fedcore codec the networked path
+	// uses, so CommStats measures real frame bytes and the lossy tiers
+	// affect training identically on both paths. upEnc holds one uplink
+	// encoder per client (delta reference + error-feedback residual);
+	// downEnc is the shared stateless downlink framer. refs/refTags are the
+	// server-side delta references (the last model each client installed);
+	// the remaining fields are pooled scratch so steady-state rounds
+	// allocate nothing.
+	codec   fedcore.CodecConfig
+	upEnc   []*fedcore.Encoder
+	downEnc *fedcore.Encoder
+	refs    []Payload
+	refTags []uint64
+	refSeq  uint64
+	upBufs  []Payload
+	downBuf Payload
+
+	// Downlink frame cache: with FedAvg/Momentum every participant receives
+	// the same payload (the aggregators alias it), so one encode serves the
+	// whole delivery loop. Keyed by payload identity, reset per commit.
+	downPtr   *float64
+	downLen   int
+	downFrame int
+
+	scrAll      []int
+	scrContribs []fedcore.Contribution
+
 	// Async-mode bookkeeping: per-client monotone submission counters (the
 	// dedup key), per-client base rounds (the round whose global each client
 	// last installed — the staleness anchor), the number of committed rounds
@@ -88,6 +116,11 @@ type Options struct {
 	StalenessBound int
 	// Buffer is the async commit trigger B; <= 0 resolves to K.
 	Buffer int
+
+	// Codec selects the payload wire codec. The zero value (identity tier,
+	// absolute encoding) frames payloads bit-exactly — the degradation-pin
+	// setting.
+	Codec fedcore.CodecConfig
 }
 
 // New assembles a federation and synchronizes all clients with the initial
@@ -117,7 +150,18 @@ func New(clients []*Client, transport Transport, agg Aggregator, opts Options) (
 		Agg:       agg,
 		CommEvery: commEvery,
 		Parallel:  opts.Parallel,
+		codec:     opts.Codec,
 	}
+	// Downlink frames are absolute and stateless (no residual) so one
+	// encoder serves every client and identical payloads encode once.
+	f.downEnc = fedcore.NewEncoder(fedcore.CodecConfig{Tier: opts.Codec.Tier, NoErrorFeedback: true})
+	f.upEnc = make([]*fedcore.Encoder, len(clients))
+	for i := range f.upEnc {
+		f.upEnc[i] = fedcore.NewEncoder(opts.Codec)
+	}
+	f.refs = make([]Payload, len(clients))
+	f.refTags = make([]uint64, len(clients))
+	f.upBufs = make([]Payload, len(clients))
 	if opts.Async {
 		async, err := fedcore.NewAsync(agg, initial, fedcore.AsyncOptions{
 			Options:        coreOpts,
@@ -187,14 +231,10 @@ func (f *Federation) RunRound() error {
 	}
 	f.trainSegment(f.CommEvery)
 
-	all := make([]int, len(f.Clients))
-	for i := range all {
-		all[i] = i
-	}
-	selected := f.Engine.Select(all)
+	selected := f.Engine.Select(f.allClients())
 	stats := fedcore.RoundStats{Expected: len(f.Clients), Selected: len(selected)}
 	var uploadDur time.Duration
-	var contribs []fedcore.Contribution
+	contribs := f.scrContribs[:0]
 	for _, idx := range selected {
 		callStart := time.Now()
 		u, err := f.Transport.Upload(f.Clients[idx])
@@ -206,9 +246,10 @@ func (f *Federation) RunRound() error {
 		case err != nil:
 			return fmt.Errorf("fed: round %d upload from client %d: %w", f.Rounds, f.Clients[idx].ID, err)
 		}
-		contribs = append(contribs, fedcore.Contribution{ID: idx, Upload: u})
+		contribs = append(contribs, fedcore.Contribution{ID: idx, Upload: f.recvUpload(idx, u)})
 		f.comm.UploadScalars += int64(len(u))
 	}
+	f.scrContribs = contribs
 	stats.Arrived = len(contribs)
 
 	f.deliverErr = nil
@@ -231,11 +272,7 @@ func (f *Federation) RunRound() error {
 func (f *Federation) runRoundAsync() error {
 	f.trainSegment(f.CommEvery)
 
-	all := make([]int, len(f.Clients))
-	for i := range all {
-		all[i] = i
-	}
-	selected := f.Engine.Select(all)
+	selected := f.Engine.Select(f.allClients())
 	f.deliverErr = nil
 	for _, idx := range selected {
 		callStart := time.Now()
@@ -252,13 +289,74 @@ func (f *Federation) runRoundAsync() error {
 		f.clientSeq[idx]++
 		// A length-mismatch reject (ErrBadUpload) is already counted by the
 		// engine; the client simply sits this round out.
-		_, _ = f.Async.Submit(idx, f.clientSeq[idx], f.clientBase[idx], u)
+		_, _ = f.Async.Submit(idx, f.clientSeq[idx], f.clientBase[idx], f.recvUpload(idx, u))
 		if f.deliverErr != nil {
 			break
 		}
 	}
 	f.syncMirrors()
 	return f.deliverErr
+}
+
+// allClients returns the pooled 0..N-1 selection candidate slice.
+func (f *Federation) allClients() []int {
+	all := f.scrAll[:0]
+	for i := range f.Clients {
+		all = append(all, i)
+	}
+	f.scrAll = all
+	return all
+}
+
+// recvUpload moves one upload across the simulated wire: the client's
+// encoder frames it (delta + error feedback per the codec config), the frame
+// bytes are accounted, and the server-side decode — against the delta
+// reference both ends agreed on at the last delivery — becomes the
+// contribution the engine aggregates. Under the identity tier the decode is
+// bit-exact, which is the degradation pin. The returned payload is the
+// pooled per-client decode buffer, valid until this client's next upload.
+func (f *Federation) recvUpload(idx int, u Payload) Payload {
+	if len(u) == 0 {
+		// Nothing to frame; the engine rejects zero-length uploads itself.
+		return u
+	}
+	frame := f.upEnc[idx].Encode(u)
+	f.comm.UploadBytes += int64(len(frame))
+	fedcore.ObserveWireUpload(len(frame))
+	dec, h, err := fedcore.DecodeFrame(frame, f.refs[idx], f.upBufs[idx])
+	if err == nil && h.Delta && h.RefTag != f.refTags[idx] {
+		err = fedcore.ErrRefMismatch
+	}
+	if err != nil {
+		// Both codec ends live in this struct and update in lockstep, so a
+		// decode failure here is a bug, not a network condition.
+		panic(fmt.Sprintf("fed: codec desync on client %d upload: %v", idx, err))
+	}
+	f.upBufs[idx] = dec
+	return dec
+}
+
+// sendDown moves one payload across the simulated downlink: an absolute
+// stateless frame, cached by payload identity so the aggregators' aliased
+// personalized payloads (FedAvg, Momentum — every participant gets the same
+// model) encode once per commit. Returns the client-side decode and the
+// frame length; the decode is the shared downlink buffer, valid until the
+// next distinct payload is framed.
+func (f *Federation) sendDown(payload Payload) (Payload, int) {
+	if len(payload) == 0 {
+		return payload, 0
+	}
+	if f.downPtr == &payload[0] && f.downLen == len(payload) {
+		return f.downBuf, f.downFrame
+	}
+	frame := f.downEnc.Encode(payload)
+	dec, _, err := fedcore.DecodeFrame(frame, nil, f.downBuf)
+	if err != nil {
+		panic(fmt.Sprintf("fed: codec desync on downlink: %v", err))
+	}
+	f.downBuf = dec
+	f.downPtr, f.downLen, f.downFrame = &payload[0], len(payload), len(frame)
+	return dec, len(frame)
 }
 
 // deliverCommit distributes one committed round's results: participants
@@ -269,6 +367,7 @@ func (f *Federation) runRoundAsync() error {
 // counter mirrors Engine.Round for that reason.
 func (f *Federation) deliverCommit(personalized map[int]fedcore.Payload, global fedcore.Payload) (int, time.Duration) {
 	f.committed++
+	f.downPtr = nil // arena buffers are rewritten per commit; drop the cache
 	drops := 0
 	var commDur time.Duration
 	for idx, c := range f.Clients {
@@ -277,8 +376,9 @@ func (f *Federation) deliverCommit(personalized map[int]fedcore.Payload, global 
 		if !ok {
 			payload = global
 		}
+		wire, frameLen := f.sendDown(payload)
 		callStart := time.Now()
-		err := f.Transport.Download(c, payload)
+		err := f.Transport.Download(c, wire)
 		commDur += time.Since(callStart)
 		switch {
 		case errors.Is(err, ErrInjectedFault):
@@ -288,14 +388,25 @@ func (f *Federation) deliverCommit(personalized map[int]fedcore.Payload, global 
 			return drops, commDur
 		default:
 			f.comm.DownloadScalars += int64(len(payload))
+			f.comm.DownloadBytes += int64(frameLen)
+			fedcore.ObserveWireDownload(frameLen)
 			if f.clientBase != nil {
 				// The client installed this commit's global: its next delta
 				// is fresh relative to round f.committed.
 				f.clientBase[idx] = f.committed
 			}
+			if f.codec.Delta {
+				// Both ends saw this install: it becomes the client's next
+				// delta reference, under a fresh tag.
+				f.refSeq++
+				f.upEnc[idx].SetRef(f.refSeq, wire)
+				f.refs[idx] = append(f.refs[idx][:0], wire...)
+				f.refTags[idx] = f.refSeq
+			}
 		}
 		c.CriticLossPost = append(c.CriticLossPost, c.probeCriticLoss())
 	}
+	fedcore.SetCompressionRatio(f.comm.CompressionRatio())
 	return drops, commDur
 }
 
@@ -350,6 +461,13 @@ func (f *Federation) AddClient(c *Client) error {
 		return fmt.Errorf("fed: joining client %d: %w", c.ID, err)
 	}
 	f.Clients = append(f.Clients, c)
+	// Join installs are out-of-band raw payloads (matching the networked
+	// path's JoinReply): the newcomer gets a fresh encoder with no delta
+	// reference, so its first uplink is absolute.
+	f.upEnc = append(f.upEnc, fedcore.NewEncoder(f.codec))
+	f.refs = append(f.refs, nil)
+	f.refTags = append(f.refTags, 0)
+	f.upBufs = append(f.upBufs, nil)
 	if f.Async != nil {
 		f.clientSeq = append(f.clientSeq, 0)
 		f.clientBase = append(f.clientBase, round)

@@ -118,8 +118,36 @@ type AsyncEngine struct {
 	uploadDrops int
 	// lastPersonal retains committed personalized payloads for participants
 	// that were not the triggering submitter, to be served on their next
-	// contact (push transports have no open reply to carry them).
+	// contact (push transports have no open reply to carry them). Entries
+	// are copies: the engine's personalized payloads live in arena buffers
+	// reused next round, and a taken entry may outlive several commits in
+	// an RPC reply path.
 	lastPersonal map[int]Payload
+
+	// Pooled submission/commit scratch, reused across commits: the
+	// staleness-mix buffers (one per buffered arrival, recycled when the
+	// buffer drains) and the commit's candidate/contribution staging.
+	mixPool    []Payload
+	mixUsed    int
+	scrCand    []int
+	scrByID    map[int]Payload
+	scrContrib []Contribution
+}
+
+// mixBuf hands out one pooled staleness-mix buffer of n scalars; buffers
+// stay checked out until the next commit drains the arrival buffer. Caller
+// holds a.mu.
+func (a *AsyncEngine) mixBuf(n int) Payload {
+	if a.mixUsed == len(a.mixPool) {
+		a.mixPool = append(a.mixPool, make(Payload, n))
+	}
+	b := a.mixPool[a.mixUsed]
+	if cap(b) < n {
+		b = make(Payload, n)
+		a.mixPool[a.mixUsed] = b
+	}
+	a.mixUsed++
+	return b[:n]
 }
 
 // NewAsync builds an async engine over a fresh inner sync engine.
@@ -239,16 +267,20 @@ func (a *AsyncEngine) Submit(clientID, seq, base int, upload Payload) (SubmitRes
 
 	a.lastSeq[clientID] = seq
 	hStaleness.Observe(float64(staleness))
-	mixed := upload
+	// The arrival is staged into a pooled buffer either way, so Submit never
+	// retains the caller's slice (adapters reuse their decode buffers across
+	// submissions).
+	mixed := a.mixBuf(len(upload))
 	if staleness > 0 {
 		// ũ = w·u + (1−w)·ψ_G with w = 1/(1+τ); skipped at τ = 0 so fresh
 		// submissions stay bit-identical to the sync data path.
 		w := 1.0 / (1.0 + float64(staleness))
 		global := a.e.Global()
-		mixed = make(Payload, len(upload))
 		for i, u := range upload {
 			mixed[i] = w*u + (1-w)*global[i]
 		}
+	} else {
+		copy(mixed, upload)
 	}
 	a.buf = append(a.buf, asyncArrival{id: clientID, upload: mixed})
 	gBufferFill.Set(float64(len(a.buf)))
@@ -284,17 +316,23 @@ func (a *AsyncEngine) Flush() (RoundReport, bool) {
 // K covers the whole buffer), the inner CompleteRound aggregates, and the
 // window drop counters are folded into the report. Caller holds a.mu.
 func (a *AsyncEngine) commitLocked() RoundReport {
-	candidates := make([]int, len(a.buf))
-	byID := make(map[int]Payload, len(a.buf))
-	for i, arr := range a.buf {
-		candidates[i] = arr.id
+	candidates := a.scrCand[:0]
+	if a.scrByID == nil {
+		a.scrByID = make(map[int]Payload, len(a.buf))
+	}
+	clear(a.scrByID)
+	byID := a.scrByID
+	for _, arr := range a.buf {
+		candidates = append(candidates, arr.id)
 		byID[arr.id] = arr.upload
 	}
+	a.scrCand = candidates
 	participants := a.e.Select(candidates)
-	contribs := make([]Contribution, 0, len(participants))
+	contribs := a.scrContrib[:0]
 	for _, id := range participants {
 		contribs = append(contribs, Contribution{ID: id, Upload: byID[id]})
 	}
+	a.scrContrib = contribs
 	stats := RoundStats{
 		Expected:    a.expected,
 		Selected:    len(participants),
@@ -305,7 +343,9 @@ func (a *AsyncEngine) commitLocked() RoundReport {
 	}
 	report := a.e.CompleteRound(contribs, stats, func(personalized map[int]Payload, global Payload) (int, time.Duration) {
 		for id, p := range personalized {
-			a.lastPersonal[id] = p
+			// Copy out of the arena: the retained payload may be taken by
+			// an RPC reply long after the arena buffer is rewritten.
+			a.lastPersonal[id] = append(Payload(nil), p...)
 		}
 		if a.deliver == nil {
 			return 0, 0
@@ -313,6 +353,7 @@ func (a *AsyncEngine) commitLocked() RoundReport {
 		return a.deliver(personalized, global)
 	})
 	a.buf = a.buf[:0]
+	a.mixUsed = 0
 	a.uploadDrops, a.staleDrops, a.dupDrops = 0, 0, 0
 	gBufferFill.Set(0)
 	mAsyncCommits.Inc()

@@ -46,6 +46,17 @@ type Aggregator interface {
 	Aggregate(uploads []Payload) (personalized []Payload, global Payload)
 }
 
+// IntoAggregator is the pooled fast path: AggregateInto computes the same
+// result as Aggregate but places it in caller-owned arena buffers, so a
+// steady-state round allocates nothing. The returned slices are valid only
+// until the arena's next use; callers that retain them must copy. The
+// engine prefers this path when an aggregator provides it (all of
+// internal/fed's strategies do) and falls back to Aggregate otherwise.
+type IntoAggregator interface {
+	Aggregator
+	AggregateInto(uploads []Payload, arena *PayloadArena) (personalized []Payload, global Payload)
+}
+
 // AggregatePartial runs one aggregation over however many uploads arrived
 // (the partial-participation regime: k of n clients answered before the
 // round deadline). Each arrival carries equal weight, so the result is the
@@ -58,6 +69,21 @@ type Aggregator interface {
 func AggregatePartial(agg Aggregator, uploads []Payload, prevGlobal Payload) (personalized []Payload, global Payload) {
 	if len(uploads) == 0 {
 		return nil, append(Payload(nil), prevGlobal...)
+	}
+	return agg.Aggregate(uploads)
+}
+
+// AggregatePartialInto is AggregatePartial over arena buffers: the pooled
+// data plane the engine (and the aggregation benchmarks) run. Zero uploads
+// return prevGlobal itself as the carried-over global — the caller copies
+// or already owns it. Aggregators without the pooled fast path fall back to
+// the allocating Aggregate.
+func AggregatePartialInto(agg Aggregator, uploads []Payload, prevGlobal Payload, arena *PayloadArena) (personalized []Payload, global Payload) {
+	if len(uploads) == 0 {
+		return nil, prevGlobal
+	}
+	if into, ok := agg.(IntoAggregator); ok {
+		return into.AggregateInto(uploads, arena)
 	}
 	return agg.Aggregate(uploads)
 }
@@ -136,7 +162,9 @@ type Contribution struct {
 // It returns the download drops it absorbed and the wall-clock spent in
 // transport calls (both folded into the round report and phase timers).
 // The callback runs while the engine holds its round lock, so it must not
-// call back into the engine.
+// call back into the engine. The map and the personalized payloads it
+// carries are engine-owned scratch reused next round: deliver must install
+// or copy them before returning, never retain them.
 type Delivery func(personalized map[int]Payload, global Payload) (downloadDrops int, comm time.Duration)
 
 // Options configures New.
@@ -161,6 +189,14 @@ type Engine struct {
 	global  Payload
 	round   int
 	reports []RoundReport
+
+	// Pooled round scratch: the aggregation arena plus the contribution
+	// filtering and routing buffers, all reused across rounds so the
+	// steady-state data plane allocates nothing.
+	arena      PayloadArena
+	scrUploads []Payload
+	scrIDs     []int
+	scrByID    map[int]Payload
 }
 
 // New builds an engine holding ψ_G^(0) = initial, with K resolved against
@@ -271,8 +307,8 @@ func (e *Engine) CompleteRound(contribs []Contribution, stats RoundStats, delive
 	defer e.mu.Unlock()
 
 	expect := len(e.global)
-	uploads := make([]Payload, 0, len(contribs))
-	ids := make([]int, 0, len(contribs))
+	uploads := e.scrUploads[:0]
+	ids := e.scrIDs[:0]
 	uploadDrops := stats.UploadDrops
 	for _, c := range contribs {
 		if len(c.Upload) != expect {
@@ -282,11 +318,22 @@ func (e *Engine) CompleteRound(contribs []Contribution, stats RoundStats, delive
 		uploads = append(uploads, c.Upload)
 		ids = append(ids, c.ID)
 	}
+	e.scrUploads, e.scrIDs = uploads, ids
 
 	aggStart := time.Now()
-	personalized, global := AggregatePartial(e.agg, uploads, e.global)
+	personalized, global := AggregatePartialInto(e.agg, uploads, e.global, &e.arena)
 	aggDur := time.Since(aggStart)
-	e.global = global
+	// The aggregator's output lives in arena buffers reused next round, so
+	// the stored global is copied into the engine-owned mirror.
+	if len(global) == 0 {
+		e.global = e.global[:0]
+	} else if len(e.global) == 0 || &global[0] != &e.global[0] {
+		if cap(e.global) < len(global) {
+			e.global = make(Payload, len(global))
+		}
+		e.global = e.global[:len(global)]
+		copy(e.global, global)
+	}
 
 	report := RoundReport{
 		Round:        e.round,
@@ -301,7 +348,11 @@ func (e *Engine) CompleteRound(contribs []Contribution, stats RoundStats, delive
 	}
 	e.round++
 
-	byID := make(map[int]Payload, len(ids))
+	if e.scrByID == nil {
+		e.scrByID = make(map[int]Payload, len(ids))
+	}
+	clear(e.scrByID)
+	byID := e.scrByID
 	for i, id := range ids {
 		byID[id] = personalized[i]
 	}

@@ -34,4 +34,24 @@ var (
 		"buffered async commits (aggregation rounds triggered by arrivals)")
 	gBufferFill = coreReg.Gauge("pfrl_fed_async_buffer_fill",
 		"accepted async arrivals currently buffered toward the next commit")
+
+	// Data-plane wire instruments: measured frame bytes as produced by the
+	// payload codec, not scalar-count estimates. Both federation paths count
+	// through these, so the compression ratio on the endpoint reflects
+	// whatever tier the run was configured with.
+	mWireUpload = coreReg.Counter("pfrl_fed_wire_upload_bytes_total",
+		"measured wire bytes of accepted client upload frames")
+	mWireDownload = coreReg.Counter("pfrl_fed_wire_download_bytes_total",
+		"measured wire bytes of delivered global download frames")
+	gCompression = coreReg.Gauge("pfrl_fed_compression_ratio",
+		"cumulative raw payload bytes over measured wire bytes (1.0 = uncompressed)")
 )
+
+// ObserveWireUpload counts n measured bytes of an accepted upload frame.
+func ObserveWireUpload(n int) { mWireUpload.Add(uint64(n)) }
+
+// ObserveWireDownload counts n measured bytes of a delivered download frame.
+func ObserveWireDownload(n int) { mWireDownload.Add(uint64(n)) }
+
+// SetCompressionRatio refreshes the cumulative compression-ratio gauge.
+func SetCompressionRatio(r float64) { gCompression.Set(r) }

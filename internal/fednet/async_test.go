@@ -62,7 +62,7 @@ func TestAsyncServerDedupesRetransmits(t *testing.T) {
 
 	// Client 0 submits seq 1, then retransmits it (duplicated/delayed ACK).
 	var first, dup SyncReply
-	args := SyncArgs{ClientID: 0, Round: 1, Base: 0, Upload: fed.Payload{2, 4}}
+	args := SyncArgs{ClientID: 0, Round: 1, Base: 0, Frame: testFrame(fed.Payload{2, 4})}
 	if err := conns[0].Call("Federation.Sync", args, &first); err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestAsyncServerDedupesRetransmits(t *testing.T) {
 	// two copies of client 0's delta.
 	var reply SyncReply
 	if err := conns[1].Call("Federation.Sync",
-		SyncArgs{ClientID: 1, Round: 1, Base: 0, Upload: fed.Payload{4, 8}}, &reply); err != nil {
+		SyncArgs{ClientID: 1, Round: 1, Base: 0, Frame: testFrame(fed.Payload{4, 8})}, &reply); err != nil {
 		t.Fatal(err)
 	}
 	if got := srv.Global(); got[0] != 3 || got[1] != 6 {
@@ -185,7 +185,7 @@ func TestAsyncFetchDeliversCommittedResults(t *testing.T) {
 
 	var r0, r1 SyncReply
 	if err := conns[0].Call("Federation.Sync",
-		SyncArgs{ClientID: 0, Round: 1, Base: 0, Upload: fed.Payload{2, 4}}, &r0); err != nil {
+		SyncArgs{ClientID: 0, Round: 1, Base: 0, Frame: testFrame(fed.Payload{2, 4})}, &r0); err != nil {
 		t.Fatal(err)
 	}
 	// Pre-commit reply: current global, round still 0.
@@ -193,7 +193,7 @@ func TestAsyncFetchDeliversCommittedResults(t *testing.T) {
 		t.Fatalf("pre-commit reply %+v", r0)
 	}
 	if err := conns[1].Call("Federation.Sync",
-		SyncArgs{ClientID: 1, Round: 1, Base: 0, Upload: fed.Payload{4, 8}}, &r1); err != nil {
+		SyncArgs{ClientID: 1, Round: 1, Base: 0, Frame: testFrame(fed.Payload{4, 8})}, &r1); err != nil {
 		t.Fatal(err)
 	}
 	// Trigger client: personalized payload in the reply, round advanced.
@@ -242,16 +242,16 @@ func TestAsyncStaleSubmissionDropped(t *testing.T) {
 	// Client 0 commits rounds 1 and 2 (buffer 1: every accepted submission
 	// commits).
 	if err := conns[0].Call("Federation.Sync",
-		SyncArgs{ClientID: 0, Round: 1, Base: 0, Upload: fed.Payload{1}}, &reply); err != nil {
+		SyncArgs{ClientID: 0, Round: 1, Base: 0, Frame: testFrame(fed.Payload{1})}, &reply); err != nil {
 		t.Fatal(err)
 	}
 	if err := conns[0].Call("Federation.Sync",
-		SyncArgs{ClientID: 0, Round: 2, Base: 1, Upload: fed.Payload{2}}, &reply); err != nil {
+		SyncArgs{ClientID: 0, Round: 2, Base: 1, Frame: testFrame(fed.Payload{2})}, &reply); err != nil {
 		t.Fatal(err)
 	}
 	// Client 1 is still on base 0: two rounds stale, dropped under bound 0.
 	if err := conns[1].Call("Federation.Sync",
-		SyncArgs{ClientID: 1, Round: 1, Base: 0, Upload: fed.Payload{9}}, &reply); err != nil {
+		SyncArgs{ClientID: 1, Round: 1, Base: 0, Frame: testFrame(fed.Payload{9})}, &reply); err != nil {
 		t.Fatal(err)
 	}
 	if g := srv.Global(); g[0] != 2 {
@@ -259,7 +259,7 @@ func TestAsyncStaleSubmissionDropped(t *testing.T) {
 	}
 	// The drop surfaces in the next committed report.
 	if err := conns[0].Call("Federation.Sync",
-		SyncArgs{ClientID: 0, Round: 3, Base: 2, Upload: fed.Payload{3}}, &reply); err != nil {
+		SyncArgs{ClientID: 0, Round: 3, Base: 2, Frame: testFrame(fed.Payload{3})}, &reply); err != nil {
 		t.Fatal(err)
 	}
 	reports := srv.Reports()

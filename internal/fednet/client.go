@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/fed"
+	"repro/internal/fedcore"
 	"repro/internal/obs"
 )
 
@@ -69,6 +70,12 @@ type RemoteClient struct {
 	rpc   *rpc.Client
 	rng   *rand.Rand
 	stats ClientStats
+
+	// Wire codec state: the uplink encoder (configured from the server's
+	// JoinReply — delta reference and error-feedback residual live here) and
+	// the pooled downlink decode buffer.
+	enc *fedcore.Encoder
+	dec fed.Payload
 }
 
 // Dial connects to the server, registers, and installs the initial global
@@ -107,6 +114,7 @@ func DialOptions(addr string, local *fed.Client, transport fed.Transport, opts O
 		conn.Close()
 		return nil, fmt.Errorf("fednet: install initial global: %w", err)
 	}
+	c.enc = fedcore.NewEncoder(reply.Codec)
 	c.id = reply.ClientID
 	if reply.Async {
 		// Async protocol: c.round becomes the local submission sequence
@@ -183,7 +191,8 @@ func retryable(err error) (retry, redial bool) {
 	}
 	var srvErr rpc.ServerError
 	if errors.As(err, &srvErr) {
-		return strings.Contains(err.Error(), msgBadUpload), false
+		msg := err.Error()
+		return strings.Contains(msg, msgBadUpload) || strings.Contains(msg, msgRefMismatch), false
 	}
 	var netErr net.Error
 	if errors.As(err, &netErr) {
@@ -195,6 +204,13 @@ func retryable(err error) (retry, redial bool) {
 // roundPassed reports whether the server aggregated this round without us.
 func roundPassed(err error) bool {
 	return err != nil && strings.Contains(err.Error(), msgRoundPassed)
+}
+
+// refMismatch reports whether the server rejected a delta frame because the
+// two ends disagree on the reference (a lost reply); the recovery is to
+// clear the local reference and retry absolutely.
+func refMismatch(err error) bool {
+	return err != nil && strings.Contains(err.Error(), msgRefMismatch)
 }
 
 // backoff sleeps for an exponentially growing, jittered delay before retry
@@ -241,6 +257,9 @@ func (c *RemoteClient) syncRound() error {
 		if roundPassed(err) {
 			return c.resync()
 		}
+		if refMismatch(err) {
+			c.enc.ClearRef()
+		}
 		retry, redial := retryable(err)
 		if !retry {
 			return err
@@ -272,19 +291,39 @@ func (c *RemoteClient) syncOnce() error {
 		return err
 	}
 	var reply SyncReply
-	args := SyncArgs{ClientID: c.id, Round: c.round, Upload: upload}
+	args := SyncArgs{ClientID: c.id, Round: c.round, Frame: c.enc.Encode(upload)}
 	if c.async {
 		args.Base = c.base
 	}
 	if err := c.call("Federation.Sync", args, &reply); err != nil {
 		return err
 	}
-	if err := c.Transport.Download(c.Local, reply.Payload); err != nil {
+	if err := c.install(reply.Frame, reply.RefTag); err != nil {
 		return err
 	}
 	c.round++
 	if c.async {
 		c.base = reply.Round
+	}
+	return nil
+}
+
+// install decodes one downlink frame into the pooled buffer, loads it into
+// the local model, and — once the install actually succeeded — adopts it as
+// the delta reference when the server tagged it. A failed install leaves the
+// reference untouched, so a retried exchange stays consistent with the
+// server's bookkeeping (which only advances when a reply is acted on).
+func (c *RemoteClient) install(frame []byte, refTag uint64) error {
+	dec, _, err := fedcore.DecodeFrame(frame, nil, c.dec)
+	if err != nil {
+		return fmt.Errorf("fednet: bad downlink frame: %w", err)
+	}
+	c.dec = dec
+	if err := c.Transport.Download(c.Local, dec); err != nil {
+		return err
+	}
+	if refTag != 0 {
+		c.enc.SetRef(refTag, dec)
 	}
 	return nil
 }
@@ -303,7 +342,7 @@ func (c *RemoteClient) Fetch() (bool, error) {
 			if !reply.Has {
 				return false, nil
 			}
-			if derr := c.Transport.Download(c.Local, reply.Payload); derr != nil {
+			if derr := c.install(reply.Frame, reply.RefTag); derr != nil {
 				err = derr
 			} else {
 				c.base = reply.Round
@@ -346,6 +385,9 @@ func (c *RemoteClient) resync() error {
 			if derr := c.Transport.Download(c.Local, state.Global); derr != nil {
 				err = derr
 			} else {
+				// A raw out-of-band install: the server has no record of it,
+				// so the next uplink must be absolute.
+				c.enc.ClearRef()
 				c.round = state.Round
 				c.stats.Resyncs++
 				mNetResyncs.Inc()

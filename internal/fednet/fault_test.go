@@ -218,7 +218,7 @@ func TestRetainedResultAfterLostReply(t *testing.T) {
 		wg.Add(1)
 		go func(i int, rc *RemoteClient) {
 			defer wg.Done()
-			args := SyncArgs{ClientID: rc.ID(), Round: 0, Upload: uploads[i]}
+			args := SyncArgs{ClientID: rc.ID(), Round: 0, Frame: testFrame(uploads[i])}
 			if err := rc.rpc.Call("Federation.Sync", args, &first[i]); err != nil {
 				t.Error(err)
 			}
@@ -228,15 +228,16 @@ func TestRetainedResultAfterLostReply(t *testing.T) {
 
 	// Client 0 retries round 0 — as after a lost reply or a duplicate send.
 	var again SyncReply
-	args := SyncArgs{ClientID: rcs[0].ID(), Round: 0, Upload: uploads[0]}
+	args := SyncArgs{ClientID: rcs[0].ID(), Round: 0, Frame: testFrame(uploads[0])}
 	if err := rcs[0].rpc.Call("Federation.Sync", args, &again); err != nil {
 		t.Fatalf("retained-result retry failed: %v", err)
 	}
-	if len(again.Payload) != len(first[0].Payload) || again.Participant != first[0].Participant {
+	ap, fp := testDecode(t, again.Frame), testDecode(t, first[0].Frame)
+	if len(ap) != len(fp) || again.Participant != first[0].Participant {
 		t.Fatal("retained result differs in shape from the original reply")
 	}
-	for d := range again.Payload {
-		if again.Payload[d] != first[0].Payload[d] {
+	for d := range ap {
+		if ap[d] != fp[d] {
 			t.Fatal("retained result differs from the original reply")
 		}
 	}
@@ -319,7 +320,7 @@ func TestBadUploadRejected(t *testing.T) {
 	full := mustUpload(t, transport, local)
 	var reply SyncReply
 	err = rc.rpc.Call("Federation.Sync",
-		SyncArgs{ClientID: rc.ID(), Round: 0, Upload: full[:len(full)-1]}, &reply)
+		SyncArgs{ClientID: rc.ID(), Round: 0, Frame: testFrame(full[:len(full)-1])}, &reply)
 	if err == nil || !strings.Contains(err.Error(), msgBadUpload) {
 		t.Fatalf("err %v, want %q rejection", err, msgBadUpload)
 	}

@@ -55,6 +55,10 @@ const (
 	// msgBadUpload flags a corrupt-length upload; the client should
 	// rebuild the payload and retry.
 	msgBadUpload = "fednet: bad upload"
+	// msgRefMismatch flags a delta frame whose reference tag does not match
+	// the server's bookkeeping (a lost reply left the two ends on different
+	// references); the client clears its reference and retries absolutely.
+	msgRefMismatch = "fednet: delta reference mismatch"
 )
 
 // JoinArgs registers a client with the server.
@@ -67,17 +71,22 @@ type JoinArgs struct {
 }
 
 // JoinReply carries the assigned client id, the current global model, the
-// server's current round (non-zero when rejoining mid-training), and whether
-// the server runs asynchronous rounds (which switches the client's Sync
-// semantics — see SyncArgs).
+// server's current round (non-zero when rejoining mid-training), whether the
+// server runs asynchronous rounds (which switches the client's Sync
+// semantics — see SyncArgs), and the wire codec the client must frame its
+// payloads with. The bootstrap global itself travels raw: joins are rare,
+// and an exact install gives delta encoding a clean starting point.
 type JoinReply struct {
 	ClientID int
 	Global   fed.Payload
 	Round    int
 	Async    bool
+	Codec    fedcore.CodecConfig
 }
 
-// SyncArgs submits one round's upload.
+// SyncArgs submits one round's upload as a codec frame (fedcore.Encoder on
+// the client, fedcore.DecodeFrame on the server — measured wire bytes, not
+// gob-encoded float64 slices).
 //
 // In sync mode Round is the server round the client believes it is
 // submitting to (the barrier alignment check). In async mode there is no
@@ -88,15 +97,17 @@ type JoinReply struct {
 type SyncArgs struct {
 	ClientID int
 	Round    int
-	Upload   fed.Payload
+	Frame    []byte
 	Base     int
 }
 
-// SyncReply returns the payload to install after the round. Round is the
+// SyncReply returns the frame to install after the round. Round is the
 // server's round index after this sync; async clients adopt it as their next
-// staleness base.
+// staleness base. A non-zero RefTag instructs the client to adopt the
+// decoded payload as its next delta reference under that tag.
 type SyncReply struct {
-	Payload     fed.Payload
+	Frame       []byte
+	RefTag      uint64
 	Participant bool
 	Round       int
 }
@@ -111,10 +122,12 @@ type FetchArgs struct {
 	Base     int
 }
 
-// FetchReply carries the fetched payload when Has is set; Has false means
-// no round has committed since Base and the client keeps what it has.
+// FetchReply carries the fetched frame when Has is set; Has false means no
+// round has committed since Base and the client keeps what it has. RefTag is
+// as in SyncReply.
 type FetchReply struct {
-	Payload     fed.Payload
+	Frame       []byte
+	RefTag      uint64
 	Participant bool
 	Round       int
 	Has         bool
@@ -166,6 +179,11 @@ type ServerConfig struct {
 	StalenessBound int
 	// Buffer is the async commit trigger B; <= 0 resolves to K.
 	Buffer int
+
+	// Codec selects the payload wire codec, announced to every joiner. The
+	// zero value (identity tier, absolute) frames payloads bit-exactly — the
+	// degradation-pin setting.
+	Codec fedcore.CodecConfig
 }
 
 // Server is the aggregation endpoint: the RPC/barrier data plane over the
@@ -179,15 +197,29 @@ type Server struct {
 
 	mu          sync.Mutex
 	nextID      int
-	pending     map[int]fed.Payload // uploads of the in-progress round
+	pending     map[int]fed.Payload // decoded uploads of the in-progress round
 	roundDone   chan struct{}       // closed when the round aggregates
 	lastRound   int                 // index of the most recently completed round
-	lastResults map[int]SyncReply   // that round's per-client results
+	lastResults map[int]SyncReply   // that round's per-client results (encoded frames)
 	timer       *time.Timer         // round deadline, armed at first upload
 	listener    net.Listener
 	rpcSrv      *rpc.Server
 	closedOnce  sync.Once
 	wg          sync.WaitGroup
+
+	// Wire codec state (guarded by mu): the per-client delta references —
+	// the decoded payload each client last had delivered, under the tag the
+	// reply carried — and the tag sequence. comm accumulates measured wire
+	// traffic.
+	codecRefs    map[int]fed.Payload
+	codecRefTags map[int]uint64
+	refSeq       uint64
+	comm         fed.CommStats
+
+	// Downlink framer (own lock: async replies encode outside mu). Absolute
+	// and stateless, so identical payloads produce identical frames.
+	downMu  sync.Mutex
+	downEnc *fedcore.Encoder
 }
 
 // NewServer builds a server; it does not listen yet. Round policy (K
@@ -218,12 +250,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		engine = e
 	}
 	s := &Server{
-		cfg:       cfg,
-		engine:    engine,
-		async:     async,
-		pending:   map[int]fed.Payload{},
-		roundDone: make(chan struct{}),
-		lastRound: -1,
+		cfg:          cfg,
+		engine:       engine,
+		async:        async,
+		pending:      map[int]fed.Payload{},
+		roundDone:    make(chan struct{}),
+		lastRound:    -1,
+		codecRefs:    map[int]fed.Payload{},
+		codecRefTags: map[int]uint64{},
+		downEnc:      fedcore.NewEncoder(fedcore.CodecConfig{Tier: cfg.Codec.Tier, NoErrorFeedback: true}),
 	}
 	s.rpcSrv = rpc.NewServer()
 	if err := s.rpcSrv.RegisterName("Federation", &rpcHandler{s: s}); err != nil {
@@ -316,8 +351,65 @@ func (h *rpcHandler) Join(args JoinArgs, reply *JoinReply) error {
 	} else {
 		reply.Round, reply.Global = s.engine.Join()
 	}
+	reply.Codec = s.cfg.Codec
+	// The joiner installs the raw global out-of-band, so any reference from
+	// a previous life of this slot is void.
+	delete(s.codecRefs, reply.ClientID)
+	delete(s.codecRefTags, reply.ClientID)
 	gNetClients.Set(float64(s.nextID))
 	return nil
+}
+
+// encodeDown frames one downlink payload absolutely and returns a retained
+// copy of the frame plus the receiver's view of it — the decode the client
+// will install, which is what delta references must be taken from under the
+// lossy tiers. Safe for concurrent use.
+func (s *Server) encodeDown(p fed.Payload) ([]byte, fed.Payload) {
+	s.downMu.Lock()
+	defer s.downMu.Unlock()
+	frame := append([]byte(nil), s.downEnc.Encode(p)...)
+	dec, _, err := fedcore.DecodeFrame(frame, nil, nil)
+	if err != nil {
+		panic(fmt.Sprintf("fednet: self-encoded frame failed to decode: %v", err))
+	}
+	return frame, dec
+}
+
+// decodeUpload validates and decodes one uplink frame against the client's
+// delta reference. Errors carry the client-classifiable prefixes: a
+// malformed or wrong-length frame is msgBadUpload (rebuild and retry), a
+// reference-tag disagreement is msgRefMismatch (clear the reference and
+// retry absolutely).
+func (s *Server) decodeUpload(clientID int, frame []byte) (fed.Payload, error) {
+	h, err := fedcore.PeekHeader(frame)
+	if err != nil {
+		return nil, fmt.Errorf("%s: client %d: %v", msgBadUpload, clientID, err)
+	}
+	var ref fed.Payload
+	if h.Delta {
+		s.mu.Lock()
+		ref = s.codecRefs[clientID]
+		tag := s.codecRefTags[clientID]
+		s.mu.Unlock()
+		if ref == nil || tag != h.RefTag {
+			return nil, fmt.Errorf("%s: client %d sent delta against tag %#x", msgRefMismatch, clientID, h.RefTag)
+		}
+	}
+	up, _, err := fedcore.DecodeFrame(frame, ref, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s: client %d: %v", msgBadUpload, clientID, err)
+	}
+	return up, nil
+}
+
+// Comm returns the measured wire traffic accumulated by the server: scalar
+// counts and actual codec frame bytes in both directions.
+func (s *Server) Comm() fed.CommStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.comm
+	c.Rounds = s.engine.Round()
+	return c
 }
 
 // State implements the resync RPC: a straggler that missed its round calls
@@ -361,13 +453,32 @@ func (h *rpcHandler) Sync(args SyncArgs, reply *SyncReply) error {
 		s.mu.Unlock()
 		return fmt.Errorf("fednet: client %d is ahead on round %d, server on %d", args.ClientID, args.Round, round)
 	}
-	if expect := s.engine.PayloadLen(); len(args.Upload) != expect {
+	hd, herr := fedcore.PeekHeader(args.Frame)
+	if herr != nil {
 		s.mu.Unlock()
-		return fmt.Errorf("%s: length %d, want %d (client %d)", msgBadUpload, len(args.Upload), expect, args.ClientID)
+		return fmt.Errorf("%s: client %d: %v", msgBadUpload, args.ClientID, herr)
+	}
+	if expect := s.engine.PayloadLen(); hd.Dim != expect {
+		s.mu.Unlock()
+		return fmt.Errorf("%s: length %d, want %d (client %d)", msgBadUpload, hd.Dim, expect, args.ClientID)
+	}
+	if hd.Delta {
+		if ref, tag := s.codecRefs[args.ClientID], s.codecRefTags[args.ClientID]; ref == nil || tag != hd.RefTag {
+			s.mu.Unlock()
+			return fmt.Errorf("%s: client %d sent delta against tag %#x", msgRefMismatch, args.ClientID, hd.RefTag)
+		}
 	}
 	if _, dup := s.pending[args.ClientID]; !dup {
 		// First-wins: a duplicate from a retrying client changes nothing.
-		s.pending[args.ClientID] = append(fed.Payload(nil), args.Upload...)
+		up, _, derr := fedcore.DecodeFrame(args.Frame, s.codecRefs[args.ClientID], nil)
+		if derr != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("%s: client %d: %v", msgBadUpload, args.ClientID, derr)
+		}
+		s.comm.UploadScalars += int64(len(up))
+		s.comm.UploadBytes += int64(len(args.Frame))
+		fedcore.ObserveWireUpload(len(args.Frame))
+		s.pending[args.ClientID] = up
 		if len(s.pending) == 1 && s.cfg.RoundTimeout > 0 {
 			s.timer = time.AfterFunc(s.cfg.RoundTimeout, func() { s.deadline(round) })
 		}
@@ -406,10 +517,19 @@ func (h *rpcHandler) syncAsync(args SyncArgs, reply *SyncReply) error {
 	if !known {
 		return fmt.Errorf("fednet: unknown client %d", args.ClientID)
 	}
-	res, err := s.async.Submit(args.ClientID, args.Round, args.Base, args.Upload)
+	up, err := s.decodeUpload(args.ClientID, args.Frame)
 	if err != nil {
-		return fmt.Errorf("%s: length %d, want %d (client %d)", msgBadUpload, len(args.Upload), s.engine.PayloadLen(), args.ClientID)
+		return err
 	}
+	res, err := s.async.Submit(args.ClientID, args.Round, args.Base, up)
+	if err != nil {
+		return fmt.Errorf("%s: length %d, want %d (client %d)", msgBadUpload, len(up), s.engine.PayloadLen(), args.ClientID)
+	}
+	s.mu.Lock()
+	s.comm.UploadScalars += int64(len(up))
+	s.comm.UploadBytes += int64(len(args.Frame))
+	s.mu.Unlock()
+	fedcore.ObserveWireUpload(len(args.Frame))
 	if res.Committed != nil {
 		s.mu.Lock()
 		s.lastRound = res.Committed.Round
@@ -418,19 +538,42 @@ func (h *rpcHandler) syncAsync(args SyncArgs, reply *SyncReply) error {
 		gNetRound.Set(float64(res.Round))
 	}
 	reply.Round = res.Round
+	var payload fed.Payload
 	switch {
 	case res.Personalized != nil:
-		reply.Payload = res.Personalized
+		payload = res.Personalized
 		reply.Participant = true
 	default:
 		if p, ok := s.async.TakePersonal(args.ClientID); ok {
-			reply.Payload = p
+			payload = p
 			reply.Participant = true
 		} else {
-			reply.Payload = s.engine.Global()
+			payload = s.engine.Global()
 		}
 	}
+	reply.Frame, reply.RefTag = s.deliverFrame(args.ClientID, payload)
 	return nil
+}
+
+// deliverFrame encodes one async/fetch downlink payload and, when delta is
+// on, rotates the client's reference to the decoded view under a fresh tag.
+func (s *Server) deliverFrame(clientID int, payload fed.Payload) ([]byte, uint64) {
+	frame, dec := s.encodeDown(payload)
+	var tag uint64
+	s.mu.Lock()
+	if s.cfg.Codec.Delta {
+		s.refSeq++
+		tag = s.refSeq
+		s.codecRefs[clientID] = dec
+		s.codecRefTags[clientID] = tag
+	}
+	s.comm.DownloadScalars += int64(len(payload))
+	s.comm.DownloadBytes += int64(len(frame))
+	ratio := s.comm.CompressionRatio()
+	s.mu.Unlock()
+	fedcore.ObserveWireDownload(len(frame))
+	fedcore.SetCompressionRatio(ratio)
+	return frame, tag
 }
 
 // Fetch implements the async pull RPC: when a round has committed since the
@@ -451,11 +594,13 @@ func (h *rpcHandler) Fetch(args FetchArgs, reply *FetchReply) error {
 		return nil
 	}
 	reply.Has = true
+	var payload fed.Payload
 	if p, ok := s.async.TakePersonal(args.ClientID); ok {
-		reply.Payload, reply.Participant = p, true
+		payload, reply.Participant = p, true
 	} else {
-		reply.Payload = s.engine.Global()
+		payload = s.engine.Global()
 	}
+	reply.Frame, reply.RefTag = s.deliverFrame(args.ClientID, payload)
 	return nil
 }
 
@@ -517,13 +662,40 @@ func (s *Server) closeRoundLocked(timedOut bool) {
 		Arrived:  len(arrived),
 		TimedOut: timedOut,
 	}, func(personalized map[int]fedcore.Payload, global fedcore.Payload) (int, time.Duration) {
-		for _, id := range arrived {
-			if p, ok := personalized[id]; ok {
-				results[id] = SyncReply{Payload: p, Participant: true, Round: round + 1}
-			} else {
-				results[id] = SyncReply{Payload: append(fed.Payload(nil), global...), Round: round + 1}
+		// Retained results are encoded frames — the personalized payloads
+		// live in arena buffers the engine rewrites next round, and
+		// identical payloads (FedAvg/Momentum alias all participants to one
+		// model) share a single frame, so the common case encodes twice per
+		// round (participants' payload + the global) regardless of N.
+		var lastPtr *float64
+		var lastFrame []byte
+		var lastDec fed.Payload
+		frameOf := func(p fed.Payload) ([]byte, fed.Payload) {
+			if lastPtr != &p[0] {
+				lastFrame, lastDec = s.encodeDown(p)
+				lastPtr = &p[0]
 			}
+			return lastFrame, lastDec
 		}
+		for _, id := range arrived {
+			p, participant := personalized[id]
+			if !participant {
+				p = global
+			}
+			frame, dec := frameOf(p)
+			res := SyncReply{Frame: frame, Participant: participant, Round: round + 1}
+			if s.cfg.Codec.Delta {
+				s.refSeq++
+				res.RefTag = s.refSeq
+				s.codecRefs[id] = dec
+				s.codecRefTags[id] = s.refSeq
+			}
+			results[id] = res
+			s.comm.DownloadScalars += int64(len(p))
+			s.comm.DownloadBytes += int64(len(frame))
+			fedcore.ObserveWireDownload(len(frame))
+		}
+		fedcore.SetCompressionRatio(s.comm.CompressionRatio())
 		return 0, 0
 	})
 

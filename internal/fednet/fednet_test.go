@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/fed"
+	"repro/internal/fedcore"
 	"repro/internal/rl"
 	"repro/internal/workload"
 )
@@ -36,6 +37,22 @@ func mustUpload(t *testing.T, tr fed.Transport, c *fed.Client) fed.Payload {
 	p, err := tr.Upload(c)
 	if err != nil {
 		t.Fatal(err)
+	}
+	return p
+}
+
+// testFrame wraps a payload in an identity wire frame, as a raw-RPC test
+// client would before Sync.
+func testFrame(p fed.Payload) []byte {
+	return append([]byte(nil), fedcore.NewEncoder(fedcore.CodecConfig{}).Encode(p)...)
+}
+
+// testDecode unwraps a downlink frame, failing the test on a bad frame.
+func testDecode(t *testing.T, frame []byte) fed.Payload {
+	t.Helper()
+	p, _, err := fedcore.DecodeFrame(frame, nil, nil)
+	if err != nil {
+		t.Fatalf("bad downlink frame: %v", err)
 	}
 	return p
 }
@@ -196,7 +213,7 @@ func TestPartialParticipationOverNetwork(t *testing.T) {
 			defer wg.Done()
 			local.TrainEpisodes(1)
 			var reply SyncReply
-			args := SyncArgs{ClientID: rc.ID(), Round: 0, Upload: mustUpload(t, transport, local)}
+			args := SyncArgs{ClientID: rc.ID(), Round: 0, Frame: testFrame(mustUpload(t, transport, local))}
 			if err := rc.rpc.Call("Federation.Sync", args, &reply); err != nil {
 				t.Error(err)
 				return

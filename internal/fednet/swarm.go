@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/fed"
+	"repro/internal/fedcore"
 	"repro/internal/rl"
 	"repro/internal/workload"
 )
@@ -62,6 +63,9 @@ type SwarmConfig struct {
 	// Retries bounds per-step client retries (default 8 — chaos runs need
 	// headroom).
 	Retries int
+	// Codec configures the wire codec for every client in the swarm. The
+	// zero value is the lossless identity tier.
+	Codec fedcore.CodecConfig
 }
 
 func (c *SwarmConfig) defaults() error {
@@ -105,6 +109,13 @@ type SwarmResult struct {
 	StaleDrops, DupDrops int
 	// MeanReward is the fleet-mean reward of the final training episode.
 	MeanReward float64
+	// Comm is the server-side communication ledger: scalar counts plus the
+	// measured wire bytes of every accepted frame.
+	Comm fed.CommStats
+	// Elapsed is the wall-clock time of the schedule drive loop (dial and
+	// teardown excluded), for round-throughput reporting. It is the one
+	// non-deterministic field of the result.
+	Elapsed time.Duration
 }
 
 // swarmEvent is one scheduled client activation in virtual time.
@@ -204,6 +215,7 @@ func RunSwarm(cfg SwarmConfig) (*SwarmResult, error) {
 		Async:          true,
 		StalenessBound: cfg.StalenessBound,
 		Buffer:         cfg.Buffer,
+		Codec:          cfg.Codec,
 	})
 	if err != nil {
 		return nil, err
@@ -250,6 +262,7 @@ func RunSwarm(cfg SwarmConfig) (*SwarmResult, error) {
 		h = append(h, swarmEvent{at: 1 + pacing[i].Int63n(97), id: i})
 	}
 	heap.Init(&h)
+	driveStart := time.Now()
 	for h.Len() > 0 {
 		ev := heap.Pop(&h).(swarmEvent)
 		if err := rcs[ev.id].RunRounds(1, cfg.CommEvery); err != nil {
@@ -262,7 +275,7 @@ func RunSwarm(cfg SwarmConfig) (*SwarmResult, error) {
 		}
 	}
 
-	res := &SwarmResult{}
+	res := &SwarmResult{Elapsed: time.Since(driveStart)}
 	_, res.Flushed = srv.Flush()
 	for _, rc := range rcs {
 		if _, err := rc.Fetch(); err != nil {
@@ -273,6 +286,7 @@ func RunSwarm(cfg SwarmConfig) (*SwarmResult, error) {
 	res.Global = srv.Global()
 	res.Reports = srv.Reports()
 	res.Rounds = srv.Rounds()
+	res.Comm = srv.Comm()
 	for _, rep := range res.Reports {
 		res.StaleDrops += rep.StaleDrops
 		res.DupDrops += rep.DupDrops

@@ -5,12 +5,16 @@
 #     simulator core and the inference fast path are allocation-free), and
 #   - BenchmarkPPOUpdate must stay within PPO_ALLOC_BUDGET allocs/op (the
 #     batched update pipeline keeps steady-state staging in agent-owned
-#     scratch; the few remaining allocs are per-Update bookkeeping).
+#     scratch; the few remaining allocs are per-Update bookkeeping), and
+#   - BenchmarkFedAggregate must report 0 allocs/op (the federation data
+#     plane — codec encode/decode plus pooled aggregation — reuses encoder
+#     scratch and the payload arena every round).
 #
-# Usage: bench_alloc_guard.sh [all|env|update]
+# Usage: bench_alloc_guard.sh [all|env|update|agg]
 #   all    (default) run every guarded benchmark
 #   env    only the zero-alloc env/rollout guards (`make bench-env`)
 #   update only the PPOUpdate budget guard (`make bench-update`)
+#   agg    only the federation data-plane guard (`make bench-agg`)
 #
 # BENCHTIME defaults to a short fixed iteration count so `make ci` stays
 # fast; run with BENCHTIME=2s for a full measurement.
@@ -38,9 +42,14 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "update" ]; then
 		-bench 'BenchmarkPPOUpdate' \
 		-benchtime "$PPO_BENCHTIME" -benchmem | tee -a "$out"
 fi
+if [ "$MODE" = "all" ] || [ "$MODE" = "agg" ]; then
+	"$GO" test ./internal/fed/ -run '^$' \
+		-bench 'BenchmarkFedAggregate' \
+		-benchtime "$BENCHTIME" -benchmem | tee -a "$out"
+fi
 
 awk -v ppo_budget="$PPO_ALLOC_BUDGET" '
-/^Benchmark(EnvStep|RolloutStep)/ {
+/^Benchmark(EnvStep|RolloutStep|FedAggregate)/ {
 	for (i = 2; i <= NF; i++) {
 		if ($i == "allocs/op" && $(i-1) != "0") {
 			printf "FAIL: %s reports %s allocs/op (want 0)\n", $1, $(i-1)
@@ -59,7 +68,8 @@ awk -v ppo_budget="$PPO_ALLOC_BUDGET" '
 END { exit bad }
 ' "$out"
 case "$MODE" in
-all) echo "bench-alloc-guard: EnvStep/RolloutStep allocation-free, PPOUpdate within $PPO_ALLOC_BUDGET allocs/op" ;;
+all) echo "bench-alloc-guard: EnvStep/RolloutStep/FedAggregate allocation-free, PPOUpdate within $PPO_ALLOC_BUDGET allocs/op" ;;
 env) echo "bench-alloc-guard: EnvStep/RolloutStep are allocation-free" ;;
 update) echo "bench-alloc-guard: PPOUpdate within $PPO_ALLOC_BUDGET allocs/op" ;;
+agg) echo "bench-alloc-guard: FedAggregate data plane is allocation-free" ;;
 esac
